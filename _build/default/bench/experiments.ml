@@ -1,0 +1,706 @@
+(* The experiment harness: one experiment per figure/theorem of the paper.
+   Each experiment prints a table in the shape a systems paper would
+   report; EXPERIMENTS.md records paper-claim vs. measured for each. *)
+
+open Ftss_util
+open Ftss_sync
+open Ftss_core
+open Ftss_protocols
+
+let trials = 25
+
+(* ------------------------------------------------------------------ *)
+(* E1 — Figure 1 / Theorem 3: round agreement stabilizes in 1 round.   *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  let table =
+    Table.create
+      ~title:
+        "E1 (Fig. 1 / Thm 3) Round agreement: measured stabilization over coterie-stable \
+         windows (claim: <= 1 round)"
+      [ "n"; "f"; "corrupt bound"; "trials"; "max measured"; "ftss holds" ]
+  in
+  List.iter
+    (fun (n, f) ->
+      List.iter
+        (fun bound ->
+          let measured = ref [] and holds = ref 0 in
+          for seed = 1 to trials do
+            let rng = Rng.create ((seed * 7919) + n + bound) in
+            let rounds = Rng.int_in rng 15 40 in
+            let faults = Faults.random_omission rng ~n ~f ~p_drop:0.45 ~rounds in
+            let trace =
+              Runner.run
+                ~corrupt:(Round_agreement.corrupt_uniform rng ~bound)
+                ~faults ~rounds Round_agreement.protocol
+            in
+            measured :=
+              float_of_int (Solve.measured_stabilization Round_agreement.spec trace)
+              :: !measured;
+            if Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace then incr holds
+          done;
+          Table.add_row table
+            [
+              string_of_int n;
+              string_of_int f;
+              string_of_int bound;
+              string_of_int trials;
+              Printf.sprintf "%.0f" (Stats.max !measured);
+              Printf.sprintf "%d/%d" !holds trials;
+            ])
+        [ 10; 1_000; 1_000_000 ])
+    [ (3, 1); (5, 2); (8, 3); (12, 5); (16, 7) ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E2 — Figures 2-3 / Theorem 4: the compiler.                         *)
+(* ------------------------------------------------------------------ *)
+
+let e2 () =
+  let table =
+    Table.create
+      ~title:
+        "E2 (Fig. 2-3 / Thm 4) Compiled repeated consensus: measured stabilization vs the \
+         2*final_round bound; iteration agreement"
+      [ "n"; "f"; "final_round"; "bound"; "max measured"; "ftss holds"; "iters ok" ]
+  in
+  List.iter
+    (fun (n, f) ->
+      let propose p = 50 + p in
+      let pi = Omission_consensus.make ~n ~f ~propose in
+      let valid d = d >= 50 && d < 50 + n in
+      let compiled = Compiler.compile ~n pi in
+      let bound = Compiler.stabilization_bound pi in
+      let measured = ref [] and holds = ref 0 in
+      let total_iters = ref 0 and agreeing_iters = ref 0 in
+      for seed = 1 to trials do
+        let rng = Rng.create ((seed * 131) + n) in
+        let rounds = Rng.int_in rng 30 60 in
+        let faults = Faults.random_omission rng ~n ~f ~p_drop:0.4 ~rounds in
+        let corrupt =
+          Compiler.corrupt rng ~pi ~n ~c_bound:1000 ~corrupt_s:(fun rng p s ->
+              Omission_consensus.corrupt_state rng ~n ~value_bound:49 p s)
+        in
+        let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+        let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
+        measured := float_of_int (Solve.measured_stabilization spec trace) :: !measured;
+        if Solve.ftss_solves spec ~stabilization:bound trace then incr holds;
+        let completed, agreeing =
+          Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
+        in
+        total_iters := !total_iters + completed;
+        agreeing_iters := !agreeing_iters + agreeing
+      done;
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int f;
+          string_of_int pi.Canonical.final_round;
+          string_of_int bound;
+          Printf.sprintf "%.0f" (Stats.max !measured);
+          Printf.sprintf "%d/%d" !holds trials;
+          Printf.sprintf "%d/%d" !agreeing_iters !total_iters;
+        ])
+    [ (3, 1); (5, 1); (5, 2); (8, 3); (12, 4) ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E3 — Theorem 1: the impossibility scenario.                          *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  let table =
+    Table.create
+      ~title:
+        "E3 (Thm 1) Tentative-definition impossibility: suffix indistinguishable from a \
+         fresh run; reconciliation vs rate dichotomy"
+      [ "isolation"; "gap"; "suffix = fresh run"; "rate violated at"; "rate-obeying agrees"; "confirmed" ]
+  in
+  List.iter
+    (fun (isolation, c_p, c_q) ->
+      let r = Impossibility.Theorem1.run ~isolation ~c_p ~c_q ~suffix:10 in
+      Table.add_row table
+        [
+          string_of_int isolation;
+          string_of_int r.Impossibility.Theorem1.gap_at_suffix;
+          string_of_bool r.Impossibility.Theorem1.suffix_matches_fresh_run;
+          (match r.Impossibility.Theorem1.rate_violation_round with
+          | Some x -> "suffix round " ^ string_of_int x
+          | None -> "never");
+          string_of_bool (not r.Impossibility.Theorem1.rate_obeying_never_agrees);
+          string_of_bool (Impossibility.Theorem1.confirms_theorem r);
+        ])
+    [ (1, 2, 9); (4, 100, 3); (8, 42, 7); (16, 1_000_000, 1); (32, 5, 6) ];
+  Table.print table;
+  print_newline ();
+  (* The companion restriction (§2, [KP90]): terminating protocols cannot
+     tolerate systemic failures — the halt state is absorbing. *)
+  let kp90 =
+    Table.create
+      ~title:
+        "E3b ([KP90] / §2) Terminating protocols cannot self-stabilize: corrupted-halted \
+         baseline vs the compiled repetition, same Π"
+      [ "n"; "f"; "rounds"; "baseline ever decides"; "compiled decides repeatedly"; "claim confirmed" ]
+  in
+  List.iter
+    (fun (n, f) ->
+      let rounds = 25 in
+      let r = Impossibility.Kp90.run ~n ~f ~rounds in
+      kp90 |> fun t ->
+      Table.add_row t
+        [
+          string_of_int n;
+          string_of_int f;
+          string_of_int rounds;
+          string_of_bool r.Impossibility.Kp90.baseline_ever_decides;
+          string_of_bool r.Impossibility.Kp90.compiled_decides_repeatedly;
+          string_of_bool (Impossibility.Kp90.confirms_claim r);
+        ])
+    [ (2, 0); (3, 1); (5, 2); (8, 3) ];
+  Table.print kp90
+
+(* ------------------------------------------------------------------ *)
+(* E4 — Theorem 2: uniformity impossibility.                            *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  let table =
+    Table.create
+      ~title:
+        "E4 (Thm 2) Uniform (halt-before-harm) protocols: identical views force halting a \
+         correct process; never halting violates uniformity"
+      [ "silence threshold"; "views identical"; "halts correct"; "uniformity violated"; "confirmed" ]
+  in
+  List.iter
+    (fun threshold ->
+      let r =
+        Impossibility.Theorem2.run ~silence_threshold:threshold ~c_p:13 ~c_q:2
+          ~rounds:(threshold + 8)
+      in
+      Table.add_row table
+        [
+          string_of_int threshold;
+          string_of_bool r.Impossibility.Theorem2.views_identical;
+          string_of_bool r.Impossibility.Theorem2.self_checking_halts_correct_process;
+          string_of_bool r.Impossibility.Theorem2.never_halting_violates_uniformity;
+          string_of_bool (Impossibility.Theorem2.confirms_theorem r);
+        ])
+    [ 1; 2; 4; 8; 16 ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E5 — Figure 4 / Theorem 5: the ◇W → ◇S transform.                    *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  let open Ftss_async in
+  let table =
+    Table.create
+      ~title:
+        "E5 (Fig. 4 / Thm 5) Initialization-free ESFD: convergence after GST, from clean \
+         vs corrupted detector tables (GST = 300; times are sim units past GST)"
+      [ "n"; "crashes"; "corrupt bound"; "trials"; "converged"; "mean conv - GST"; "p95" ]
+  in
+  let gst = 300 in
+  List.iter
+    (fun (n, crash_count) ->
+      List.iter
+        (fun num_bound ->
+          let convs = ref [] and converged = ref 0 in
+          let sub_trials = 15 in
+          for seed = 1 to sub_trials do
+            let crashes = List.init crash_count (fun i -> (n - 1 - i, 100 + (i * 150))) in
+            let config =
+              {
+                (Sim.default_config ~n ~seed) with
+                Sim.gst;
+                horizon = 3000;
+                tick_interval = 10;
+                delay_before_gst = (1, 80);
+                delay_after_gst = (1, 5);
+                crashes;
+              }
+            in
+            let crashed p = List.assoc_opt p crashes in
+            let trusted = 0 in
+            let oracle =
+              Ewfd.make (Rng.create (seed + 1)) ~n ~crashed ~gst ~trusted ~noise:0.3
+            in
+            let rng = Rng.create (seed + 2) in
+            let corrupt =
+              if num_bound = 0 then None
+              else Some (fun _ t -> Esfd.corrupt rng ~num_bound t)
+            in
+            let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle) in
+            match (Esfd.analyze result ~config ~trusted).Esfd.convergence_time with
+            | Some t ->
+              incr converged;
+              convs := float_of_int (max 0 (t - gst)) :: !convs
+            | None -> ()
+          done;
+          Table.add_row table
+            [
+              string_of_int n;
+              string_of_int crash_count;
+              (if num_bound = 0 then "clean" else string_of_int num_bound);
+              string_of_int sub_trials;
+              Printf.sprintf "%d/%d" !converged sub_trials;
+              (if !convs = [] then "-" else Printf.sprintf "%.0f" (Stats.mean !convs));
+              (if !convs = [] then "-" else Printf.sprintf "%.0f" (Stats.percentile 95.0 !convs));
+            ])
+        [ 0; 1_000; 100_000 ])
+    [ (3, 1); (5, 1); (5, 2); (9, 4) ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E6 — §3: asynchronous repeated consensus, ss vs baseline.            *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  let open Ftss_async in
+  let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
+  let table =
+    Table.create
+      ~title:
+        "E6 (§3) Repeated consensus from systemic corruption: baseline CT vs the \
+         self-stabilizing superimposition (n=5, GST=300, horizon=4000)"
+      [ "style"; "corruption"; "decided"; "disagree"; "invalid"; "stabilized at"; "decided after stab" ]
+  in
+  let n = 5 and trusted = 1 in
+  let run ~style ~corruption ~noise ~seed =
+    let config =
+      {
+        (Sim.default_config ~n ~seed) with
+        Sim.gst = 300;
+        horizon = 4000;
+        tick_interval = 10;
+        delay_before_gst = (1, 60);
+        delay_after_gst = (1, 4);
+      }
+    in
+    let oracle =
+      Ewfd.make (Rng.create (seed + 7)) ~n ~crashed:(fun _ -> None) ~gst:config.Sim.gst
+        ~trusted ~noise
+    in
+    let corrupt =
+      match corruption with
+      | `None -> None
+      | `Random ->
+        Some
+          (Consensus.corrupt_random (Rng.create (seed + 3)) ~n ~instance_bound:20
+             ~round_bound:30 ~value_bound:90)
+      | `Parked -> Some (Consensus.corrupt_parked ~round:6)
+    in
+    let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle) in
+    (config, result)
+  in
+  List.iter
+    (fun (style, style_name) ->
+      List.iter
+        (fun (corruption, corruption_name, noise) ->
+          let config, result = run ~style ~corruption ~noise ~seed:9 in
+          let correct = Sim.correct_set config in
+          let ds = Consensus.decisions result in
+          let grouped = Consensus.per_instance ds ~correct in
+          let stab = Consensus.stabilization_time result ~correct ~propose ~n in
+          Table.add_row table
+            [
+              style_name;
+              corruption_name;
+              string_of_int (List.length grouped);
+              string_of_int (List.length (Consensus.disagreements grouped));
+              string_of_int (List.length (Consensus.invalid_instances grouped ~propose ~n));
+              (match stab with Some t -> "t=" ^ string_of_int t | None -> "never");
+              (match stab with
+              | Some t -> string_of_int (Consensus.fully_decided_after ds ~correct ~from:t)
+              | None -> "-");
+            ])
+        [ (`None, "none", 0.2); (`Random, "random", 0.2); (`Parked, "parked (deadlock)", 0.0) ])
+    [ (Consensus.baseline, "baseline"); (Consensus.self_stabilizing, "self-stab") ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E7 — §2.3: destabilization by late revelation; re-stabilization.     *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  let table =
+    Table.create
+      ~title:
+        "E7 (§2.3) Piece-wise stability: a mute process reveals itself at round R with a \
+         corrupted round variable; agreement re-established within the stabilization time"
+      [ "protocol"; "reveal round"; "windows"; "max measured stab"; "ftss holds" ]
+  in
+  let reveal_rounds = [ 5; 10; 20; 40 ] in
+  (* Round agreement under a late reveal. *)
+  List.iter
+    (fun reveal ->
+      let n = 4 in
+      let rounds = reveal + 25 in
+      let corrupt p c = if p = n - 1 then 500_000 else c + (p * 7) in
+      let faults =
+        Faults.of_events ~n [ Faults.Mute { pid = n - 1; first = 1; last = reveal - 1 } ]
+      in
+      let trace = Runner.run ~corrupt ~faults ~rounds Round_agreement.protocol in
+      let windows = Solve.stable_windows trace in
+      let measured = Solve.measured_stabilization Round_agreement.spec trace in
+      let holds = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+      Table.add_row table
+        [
+          "round-agreement";
+          string_of_int reveal;
+          string_of_int (List.length windows);
+          string_of_int measured;
+          string_of_bool holds;
+        ])
+    reveal_rounds;
+  Table.add_separator table;
+  (* A *partial* reveal: the revealed message reaches only some correct
+     processes in the reveal round and must be relayed — the case that
+     genuinely consumes Theorem 3's one-round stabilization allowance. *)
+  List.iter
+    (fun reveal ->
+      let n = 4 in
+      let rounds = reveal + 25 in
+      let corrupt p c = if p = n - 1 then 500_000 else c + (p * 7) in
+      let faults =
+        Faults.of_events ~n
+          (Faults.Mute { pid = n - 1; first = 1; last = reveal - 1 }
+          :: [ Faults.Drop { src = n - 1; dst = 0; round = reveal } ])
+      in
+      let trace = Runner.run ~corrupt ~faults ~rounds Round_agreement.protocol in
+      let windows = Solve.stable_windows trace in
+      let measured = Solve.measured_stabilization Round_agreement.spec trace in
+      let holds = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+      Table.add_row table
+        [
+          "round-agreement (partial reveal)";
+          string_of_int reveal;
+          string_of_int (List.length windows);
+          string_of_int measured;
+          string_of_bool holds;
+        ])
+    reveal_rounds;
+  Table.add_separator table;
+  (* Rolling mute: the victim alternates silence and participation.
+     Because the coterie is monotone (happened-before only grows), only
+     the *first* reveal is a destabilizing event; every later mute/talk
+     cycle must be absorbed with the spec intact — which is what the
+     constant window count (3) and the ftss verdict certify. *)
+  List.iter
+    (fun period ->
+      let n = 4 in
+      let rounds = 8 * period in
+      let faults = Faults.rolling_mute ~n ~victim:(n - 1) ~period ~rounds in
+      let corrupt p c = c + (p * 1000) in
+      let trace = Runner.run ~corrupt ~faults ~rounds Round_agreement.protocol in
+      let windows = Solve.stable_windows trace in
+      let measured = Solve.measured_stabilization Round_agreement.spec trace in
+      let holds = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+      Table.add_row table
+        [
+          "round-agreement (rolling mute)";
+          Printf.sprintf "every %d" (2 * period);
+          string_of_int (List.length windows);
+          string_of_int measured;
+          string_of_bool holds;
+        ])
+    [ 2; 4; 6 ];
+  Table.add_separator table;
+  (* Compiled consensus under a late reveal. *)
+  List.iter
+    (fun reveal ->
+      let n = 4 and f = 1 in
+      let propose p = 50 + p in
+      let pi = Omission_consensus.make ~n ~f ~propose in
+      let valid d = d >= 50 && d < 50 + n in
+      let compiled = Compiler.compile ~n pi in
+      let rounds = reveal + 30 in
+      let corrupt p (st : _ Compiler.state) =
+        if p = n - 1 then { st with Compiler.c = 1_000_000 } else st
+      in
+      let faults =
+        Faults.of_events ~n [ Faults.Mute { pid = n - 1; first = 1; last = reveal - 1 } ]
+      in
+      let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
+      let windows = Solve.stable_windows trace in
+      let measured = Solve.measured_stabilization spec trace in
+      let holds =
+        Solve.ftss_solves spec ~stabilization:(Compiler.stabilization_bound pi) trace
+      in
+      Table.add_row table
+        [
+          "compiled consensus";
+          string_of_int reveal;
+          string_of_int (List.length windows);
+          string_of_int measured;
+          string_of_bool holds;
+        ])
+    reveal_rounds;
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E8 — ablations of the paper's mechanisms.                            *)
+(* ------------------------------------------------------------------ *)
+
+(* E8a: the compiler's suspect filter (§2.4's "insidious" case).
+   A faulty process q is deaf forever, so its round variable diverges and
+   every message it sends is out-of-date. The adversary delivers q's
+   stale state (which carries the globally minimal value) to exactly one
+   correct process, and only in the final round of each Π iteration — too
+   late for the full-information exchange to relay it to the other
+   correct process. With the filter, q's wrong round tags put it in every
+   suspect set and its state is ignored symmetrically. Without the
+   filter, one correct process decides q's stale minimum and the other
+   does not: agreement breaks in iteration after iteration, forever. *)
+let e8_compiler () =
+  let table =
+    Table.create
+      ~title:
+        "E8a Ablation: the Figure 3 suspect filter (faulty deaf process feeding stale \
+         state to one process in each iteration's last round; claim: filter necessary)"
+      [ "suspect filter"; "rounds"; "iterations"; "agreeing"; "Σ⁺ ftss holds" ]
+  in
+  let n = 3 and f = 1 in
+  (* Π is *plain* flooding — no internal filter of its own, so the
+     compiler's suspect set is its only protection (using the
+     suspect-filtered Π here would mask the ablation: its internal
+     distrust performs the same job). q = 0 proposes the global minimum;
+     p1 never hears it; p2 hears it only in final-iteration rounds
+     (k = final_round at rounds ≡ 0 mod final_round from the clean
+     start c = 1). *)
+  let propose p = 50 + p in
+  let pi = Flooding_consensus.make ~f ~propose in
+  let valid d = d >= 50 && d < 50 + n in
+  let rounds = 60 in
+  let faults =
+    Faults.of_events ~n
+      (Faults.Deaf { pid = 0; first = 1; last = rounds }
+      :: List.concat_map
+           (fun r ->
+             Faults.Drop { src = 0; dst = 1; round = r }
+             :: (if r mod pi.Canonical.final_round <> 0 then
+                   [ Faults.Drop { src = 0; dst = 2; round = r } ]
+                 else []))
+           (List.init rounds (fun i -> i + 1)))
+  in
+  (* q's round variable starts out of step and, being deaf, never
+     reconciles. *)
+  let corrupt p (st : _ Compiler.state) =
+    if p = 0 then { st with Compiler.c = 5 } else st
+  in
+  List.iter
+    (fun suspect_filter ->
+      let compiled = Compiler.compile ~suspect_filter ~n pi in
+      let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
+      let holds =
+        Solve.ftss_solves spec ~stabilization:(Compiler.stabilization_bound pi) trace
+      in
+      let completed, agreeing =
+        Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
+      in
+      Table.add_row table
+        [
+          string_of_bool suspect_filter;
+          string_of_int rounds;
+          string_of_int completed;
+          string_of_int agreeing;
+          string_of_bool holds;
+        ])
+    [ true; false ];
+  Table.print table
+
+(* E8b: the two superimpositions of the §3 consensus protocol, ablated
+   independently, against the two corruption patterns. Retransmission is
+   what dissolves the parked deadlock; round agreement is what lets
+   processes scattered across (instance, round) positions find each
+   other. The paper's protocol needs both. *)
+let e8_consensus () =
+  let open Ftss_async in
+  let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
+  let table =
+    Table.create
+      ~title:
+        "E8b Ablation: retransmission vs round agreement in §3 consensus (n=5, \
+         instances fully decided by all correct processes after GST=300)"
+      [ "retransmit"; "round agreement"; "clean"; "parked"; "random scatter" ]
+  in
+  let n = 5 and trusted = 1 in
+  let run ~style ~corruption ~seed =
+    let config =
+      {
+        (Sim.default_config ~n ~seed) with
+        Sim.gst = 300;
+        horizon = 4000;
+        tick_interval = 10;
+        delay_before_gst = (1, 60);
+        delay_after_gst = (1, 4);
+      }
+    in
+    let noise = match corruption with `Parked -> 0.0 | `None | `Random -> 0.2 in
+    let oracle =
+      Ewfd.make (Rng.create (seed + 7)) ~n ~crashed:(fun _ -> None) ~gst:config.Sim.gst
+        ~trusted ~noise
+    in
+    let corrupt =
+      match corruption with
+      | `None -> None
+      | `Random ->
+        Some
+          (Consensus.corrupt_random (Rng.create (seed + 3)) ~n ~instance_bound:20
+             ~round_bound:30 ~value_bound:90)
+      | `Parked -> Some (Consensus.corrupt_parked ~round:6)
+    in
+    let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle) in
+    let correct = Sim.correct_set config in
+    Consensus.fully_decided_after (Consensus.decisions result) ~correct
+      ~from:config.Sim.gst
+  in
+  List.iter
+    (fun style ->
+      let cell corruption = string_of_int (run ~style ~corruption ~seed:9) in
+      Table.add_row table
+        [
+          string_of_bool style.Consensus.retransmit;
+          string_of_bool style.Consensus.round_agreement;
+          cell `None;
+          cell `Parked;
+          cell `Random;
+        ])
+    Consensus.[ baseline; retransmit_only; round_agreement_only; self_stabilizing ];
+  Table.print table
+
+let e8 () =
+  e8_compiler ();
+  print_newline ();
+  e8_consensus ()
+
+(* ------------------------------------------------------------------ *)
+(* E9 — the oracle-free detector stack (extension).                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The paper assumes a ◇W detector is given; E9 discharges the
+   assumption inside the model: heartbeats with adaptive timeouts
+   implement ◇W, Figure 4 transforms it to ◇S, and the whole stack —
+   with deadlines, timeouts and num/state tables all corrupted — still
+   converges. *)
+let e9 () =
+  let open Ftss_async in
+  let table =
+    Table.create
+      ~title:
+        "E9 Oracle-free stack: heartbeat ◇W + Figure 4 ◇S, clean vs fully-corrupted \
+         detector state (GST=300; convergence in sim units past GST)"
+      [ "n"; "crashes"; "corrupted"; "trials"; "converged"; "mean conv - GST"; "p95" ]
+  in
+  let gst = 300 in
+  List.iter
+    (fun (n, crash_count) ->
+      List.iter
+        (fun corrupted ->
+          let convs = ref [] and converged = ref 0 in
+          let sub_trials = 15 in
+          for seed = 1 to sub_trials do
+            let crashes = List.init crash_count (fun i -> (n - 1 - i, 100 + (i * 100))) in
+            let config =
+              {
+                (Sim.default_config ~n ~seed) with
+                Sim.gst;
+                horizon = 3000;
+                tick_interval = 10;
+                delay_before_gst = (1, 80);
+                delay_after_gst = (1, 5);
+                crashes;
+              }
+            in
+            let rng = Rng.create (seed + 13) in
+            let corrupt =
+              if corrupted then
+                Some
+                  (Detector_stack.corrupt rng ~time_bound:10_000 ~timeout_bound:150
+                     ~num_bound:5_000)
+              else None
+            in
+            let result =
+              Sim.run ?corrupt config
+                (Detector_stack.process ~n ~initial_timeout:30 ~backoff:20)
+            in
+            match (Detector_stack.analyze result ~config).Detector_stack.convergence_time with
+            | Some t ->
+              incr converged;
+              convs := float_of_int (max 0 (t - gst)) :: !convs
+            | None -> ()
+          done;
+          Table.add_row table
+            [
+              string_of_int n;
+              string_of_int crash_count;
+              string_of_bool corrupted;
+              string_of_int sub_trials;
+              Printf.sprintf "%d/%d" !converged sub_trials;
+              (if !convs = [] then "-" else Printf.sprintf "%.0f" (Stats.mean !convs));
+              (if !convs = [] then "-" else Printf.sprintf "%.0f" (Stats.percentile 95.0 !convs));
+            ])
+        [ false; true ])
+    [ (3, 1); (5, 1); (5, 2); (9, 4) ];
+  Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* E10 — §3 remark: synchronous but not perfectly synchronized.         *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  let open Ftss_async in
+  let table =
+    Table.create
+      ~title:
+        "E10 (§3 remark) Round agreement with staggered steps and bounded delays: \
+         neighbourhood agreement (spread <= 2 + ceil(delay/round)) from corrupted state"
+      [ "n"; "max delay"; "round len"; "bound"; "trials"; "converged"; "max final spread" ]
+  in
+  List.iter
+    (fun (n, max_delay, tick) ->
+      let sub_trials = 15 in
+      let converged = ref 0 and worst = ref 0 in
+      let bound = ref 0 in
+      for seed = 1 to sub_trials do
+        let config =
+          {
+            (Sim.default_config ~n ~seed) with
+            Sim.gst = 0;
+            horizon = 2000;
+            tick_interval = tick;
+            delay_before_gst = (1, max_delay);
+            delay_after_gst = (1, max_delay);
+          }
+        in
+        bound := Drift.spread_bound config;
+        let rng = Rng.create (seed + 99) in
+        let result =
+          Sim.run ~corrupt:(Drift.corrupt rng ~bound:1_000_000) config Drift.process
+        in
+        let report = Drift.analyze result ~config in
+        if report.Drift.converged_from <> None then incr converged;
+        worst := max !worst report.Drift.final_spread
+      done;
+      Table.add_row table
+        [
+          string_of_int n;
+          string_of_int max_delay;
+          string_of_int tick;
+          string_of_int !bound;
+          string_of_int sub_trials;
+          Printf.sprintf "%d/%d" !converged sub_trials;
+          string_of_int !worst;
+        ])
+    [ (3, 5, 10); (5, 8, 10); (5, 15, 10); (9, 8, 10); (9, 30, 10) ];
+  Table.print table
+
+let all =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
+    ("E8", e8); ("E9", e9); ("E10", e10);
+  ]

@@ -1,0 +1,21 @@
+(* Benchmark harness: regenerates every experiment table (E1-E7, one per
+   figure/theorem of the paper — see DESIGN.md's per-experiment index and
+   EXPERIMENTS.md for paper-claim vs measured) and runs the bechamel
+   microbenchmark suite (M1).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- E1 E5   # a subset
+     dune exec bench/main.exe -- M1      # microbenchmarks only *)
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let wanted name = requested = [] || List.mem name requested in
+  List.iter
+    (fun (name, experiment) ->
+      if wanted name then begin
+        experiment ();
+        print_newline ()
+      end)
+    Experiments.all;
+  if wanted "M1" then Microbench.run ()

@@ -1,0 +1,107 @@
+(* M1 — bechamel microbenchmarks: the per-round / per-event costs of each
+   building block, so the simulator's capacity is documented. *)
+
+open Bechamel
+open Toolkit
+open Ftss_util
+open Ftss_sync
+open Ftss_core
+open Ftss_protocols
+
+let round_agreement_round ~n =
+  let faults = Faults.none n in
+  Test.make
+    ~name:(Printf.sprintf "round-agreement round (n=%d)" n)
+    (Staged.stage (fun () ->
+         ignore (Runner.run ~faults ~rounds:1 Round_agreement.protocol)))
+
+let compiled_round ~n =
+  let propose p = 50 + p in
+  let pi = Omission_consensus.make ~n ~f:1 ~propose in
+  let compiled = Compiler.compile ~n pi in
+  let faults = Faults.none n in
+  Test.make
+    ~name:(Printf.sprintf "compiled consensus round (n=%d)" n)
+    (Staged.stage (fun () -> ignore (Runner.run ~faults ~rounds:1 compiled)))
+
+let coterie_analysis ~n ~rounds =
+  let faults = Faults.none n in
+  let trace = Runner.run ~faults ~rounds Round_agreement.protocol in
+  Test.make
+    ~name:(Printf.sprintf "coterie analysis (n=%d, %d rounds)" n rounds)
+    (Staged.stage (fun () -> ignore (Ftss_history.Causality.analyze trace)))
+
+let esfd_tick ~n =
+  let open Ftss_async in
+  let t = Esfd.create ~n in
+  Test.make
+    ~name:(Printf.sprintf "esfd tick+merge (n=%d)" n)
+    (Staged.stage (fun () ->
+         let t', msg = Esfd.tick t ~self:0 ~detect:(fun s -> s = n - 1) in
+         ignore (Esfd.receive t' msg)))
+
+let async_consensus_run ~n =
+  let open Ftss_async in
+  let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
+  let config =
+    {
+      (Sim.default_config ~n ~seed:3) with
+      Sim.gst = 50;
+      horizon = 500;
+      tick_interval = 10;
+      delay_before_gst = (1, 20);
+      delay_after_gst = (1, 4);
+    }
+  in
+  let oracle =
+    Ewfd.make (Rng.create 5) ~n ~crashed:(fun _ -> None) ~gst:config.Sim.gst ~trusted:0
+      ~noise:0.1
+  in
+  Test.make
+    ~name:(Printf.sprintf "async consensus 500 time units (n=%d)" n)
+    (Staged.stage (fun () ->
+         ignore
+           (Sim.run config
+              (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose ~oracle))))
+
+let tests =
+  Test.make_grouped ~name:"ftss" ~fmt:"%s %s"
+    [
+      round_agreement_round ~n:4;
+      round_agreement_round ~n:16;
+      compiled_round ~n:4;
+      compiled_round ~n:16;
+      coterie_analysis ~n:8 ~rounds:50;
+      esfd_tick ~n:5;
+      esfd_tick ~n:9;
+      async_consensus_run ~n:5;
+    ]
+
+let run () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let results = Analyze.merge ols instances results in
+  let clock = Hashtbl.find results (Measure.label Instance.monotonic_clock) in
+  let table =
+    Table.create ~title:"M1 Microbenchmarks (monotonic clock, OLS estimate per call)"
+      [ "benchmark"; "ns/call" ]
+  in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let estimate =
+          match Analyze.OLS.estimates ols with Some (e :: _) -> e | Some [] | None -> nan
+        in
+        (name, estimate) :: acc)
+      clock []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, est) -> Table.add_row table [ name; Printf.sprintf "%.0f" est ])
+    rows;
+  Table.print table

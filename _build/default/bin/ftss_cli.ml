@@ -1,0 +1,332 @@
+(* ftss — command-line driver for the protocols and experiments.
+
+   Subcommands:
+     round-agreement   run Figure 1 under corruption + omission faults
+     compile           run a compiled protocol (Figure 3) and check Σ⁺
+     esfd              run the Figure 4 detector transform (Theorem 5)
+     consensus         run asynchronous repeated consensus (§3)
+     impossibility     execute the Theorem 1 / Theorem 2 scenarios *)
+
+open Ftss_util
+open Ftss_sync
+open Ftss_core
+open Ftss_protocols
+open Cmdliner
+
+(* --- shared options --- *)
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let f_arg =
+  Arg.(value & opt int 1 & info [ "f" ] ~docv:"F" ~doc:"Bound on faulty processes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic RNG seed.")
+
+let rounds_arg =
+  Arg.(value & opt int 40 & info [ "rounds" ] ~docv:"R" ~doc:"Rounds to simulate.")
+
+let p_drop_arg =
+  Arg.(
+    value
+    & opt float 0.4
+    & info [ "p-drop" ] ~docv:"P" ~doc:"Per-link omission probability for faulty links.")
+
+(* --- round-agreement --- *)
+
+let dump_arg =
+  Arg.(value & flag & info [ "dump" ] ~doc:"Dump the full round-by-round trace.")
+
+let round_agreement_cmd =
+  let run n f seed rounds p_drop dump =
+    let rng = Rng.create seed in
+    let faults = Faults.random_omission rng ~n ~f ~p_drop ~rounds in
+    let trace =
+      Runner.run
+        ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:1_000_000)
+        ~faults ~rounds Round_agreement.protocol
+    in
+    Format.printf "%a@." Trace.pp_summary trace;
+    if dump then Format.printf "%a@." (Trace.pp_rounds Format.pp_print_int) trace;
+    List.iter
+      (fun (x, y) -> Format.printf "coterie-stable window: %d..%d@." x y)
+      (Solve.stable_windows trace);
+    let ok = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+    let measured = Solve.measured_stabilization Round_agreement.spec trace in
+    Format.printf "ftss-solves round agreement (stabilization 1): %b@." ok;
+    Format.printf "measured stabilization: %d@." measured;
+    if ok then 0 else 1
+  in
+  let term =
+    Term.(const run $ n_arg $ f_arg $ seed_arg $ rounds_arg $ p_drop_arg $ dump_arg)
+  in
+  Cmd.v
+    (Cmd.info "round-agreement"
+       ~doc:"Run the Figure 1 round agreement protocol under systemic corruption and omission faults; check Theorem 3.")
+    term
+
+(* --- compile --- *)
+
+let protocol_arg =
+  Arg.(
+    value
+    & opt (enum [ ("consensus", `Consensus); ("ic", `Ic); ("leader", `Leader) ]) `Consensus
+    & info [ "protocol" ] ~docv:"P"
+        ~doc:"Canonical protocol to compile: $(b,consensus), $(b,ic) or $(b,leader).")
+
+let compile_cmd =
+  let run n f seed rounds p_drop which =
+    let rng = Rng.create seed in
+    let faults = Faults.random_omission rng ~n ~f ~p_drop ~rounds in
+    let check (type s d) (pi : (s, d) Canonical.t) ~(corrupt_s : Rng.t -> Pid.t -> s -> s)
+        ~(valid : d -> bool) =
+      let compiled = Compiler.compile ~n pi in
+      let corrupt = Compiler.corrupt rng ~pi ~n ~c_bound:1000 ~corrupt_s in
+      let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
+      let bound = Compiler.stabilization_bound pi in
+      let ok = Solve.ftss_solves spec ~stabilization:bound trace in
+      let measured = Solve.measured_stabilization spec trace in
+      let completed, agreeing =
+        Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
+      in
+      Format.printf "Π = %s, final_round = %d, Π⁺ stabilization bound = %d@."
+        pi.Canonical.name pi.Canonical.final_round bound;
+      Format.printf "%a@." Trace.pp_summary trace;
+      Format.printf "iterations completed: %d, with full agreement: %d@." completed agreeing;
+      Format.printf "Theorem 4 (ftss-solves Σ⁺): %b; measured stabilization: %d@." ok measured;
+      if ok then 0 else 1
+    in
+    match which with
+    | `Consensus ->
+      let propose p = 50 + p in
+      check
+        (Omission_consensus.make ~n ~f ~propose)
+        ~corrupt_s:(fun rng p s -> Omission_consensus.corrupt_state rng ~n ~value_bound:49 p s)
+        ~valid:(fun d -> d >= 50 && d < 50 + n)
+    | `Ic ->
+      let propose p = 1000 + p in
+      check
+        (Interactive_consistency.make ~n ~f ~propose)
+        ~corrupt_s:(fun _ _ s -> s)
+        ~valid:(fun vector ->
+          List.for_all (function Some v -> v >= 1000 && v < 1000 + n | None -> true) vector)
+    | `Leader ->
+      check (Leader_election.make ~n ~f)
+        ~corrupt_s:(fun _ _ s -> s)
+        ~valid:(fun leader -> Pid.is_valid ~n leader)
+  in
+  let term =
+    Term.(const run $ n_arg $ f_arg $ seed_arg $ rounds_arg $ p_drop_arg $ protocol_arg)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a canonical protocol with the Figure 3 compiler, run it under corruption + faults, and check Theorem 4.")
+    term
+
+(* --- esfd --- *)
+
+let gst_arg =
+  Arg.(value & opt int 300 & info [ "gst" ] ~docv:"T" ~doc:"Global stabilization time.")
+
+let horizon_arg =
+  Arg.(value & opt int 3000 & info [ "horizon" ] ~docv:"T" ~doc:"Simulation horizon.")
+
+let crashes_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:':' int int) []
+    & info [ "crash" ] ~docv:"PID:TIME" ~doc:"Crash process PID at TIME (repeatable).")
+
+let esfd_cmd =
+  let run n seed gst horizon crashes =
+    let open Ftss_async in
+    let config =
+      {
+        (Sim.default_config ~n ~seed) with
+        Sim.gst;
+        horizon;
+        crashes;
+        delay_before_gst = (1, 80);
+        delay_after_gst = (1, 5);
+      }
+    in
+    let crashed p = List.assoc_opt p crashes in
+    let trusted =
+      match List.find_opt (fun p -> crashed p = None) (Pid.all n) with
+      | Some p -> p
+      | None -> failwith "no correct process"
+    in
+    let oracle = Ewfd.make (Rng.create (seed + 1)) ~n ~crashed ~gst ~trusted ~noise:0.3 in
+    let rng = Rng.create (seed + 2) in
+    let corrupt _ t = Esfd.corrupt rng ~num_bound:10_000 t in
+    let result = Sim.run ~corrupt config (Esfd.process ~n ~oracle) in
+    let report = Esfd.analyze result ~config ~trusted in
+    let show = function Some t -> string_of_int t | None -> "none" in
+    Format.printf "messages delivered: %d@." result.Sim.delivered;
+    Format.printf "strong completeness from: %s@." (show report.Esfd.completeness_from);
+    Format.printf "eventual weak accuracy from: %s@." (show report.Esfd.accuracy_from);
+    Format.printf "Theorem 5 convergence: %s@." (show report.Esfd.convergence_time);
+    if report.Esfd.convergence_time <> None then 0 else 1
+  in
+  let term = Term.(const run $ n_arg $ seed_arg $ gst_arg $ horizon_arg $ crashes_arg) in
+  Cmd.v
+    (Cmd.info "esfd"
+       ~doc:"Run the Figure 4 ◇W→◇S transform from corrupted detector state; check Theorem 5.")
+    term
+
+(* --- stack: oracle-free detector (heartbeats + Figure 4) --- *)
+
+let stack_cmd =
+  let run n seed gst horizon crashes =
+    let open Ftss_async in
+    let config =
+      {
+        (Sim.default_config ~n ~seed) with
+        Sim.gst;
+        horizon;
+        crashes;
+        delay_before_gst = (1, 80);
+        delay_after_gst = (1, 5);
+      }
+    in
+    let rng = Rng.create (seed + 13) in
+    let corrupt =
+      Detector_stack.corrupt rng ~time_bound:10_000 ~timeout_bound:150 ~num_bound:5_000
+    in
+    let result =
+      Sim.run ~corrupt config (Detector_stack.process ~n ~initial_timeout:30 ~backoff:20)
+    in
+    let report = Detector_stack.analyze result ~config in
+    let show = function Some t -> string_of_int t | None -> "none" in
+    Format.printf "strong completeness from: %s@."
+      (show report.Detector_stack.completeness_from);
+    Format.printf "eventual weak accuracy from: %s@."
+      (show report.Detector_stack.accuracy_from);
+    Format.printf "stack (heartbeat ◇W + Fig. 4 ◇S) convergence: %s@."
+      (show report.Detector_stack.convergence_time);
+    if report.Detector_stack.convergence_time <> None then 0 else 1
+  in
+  let term = Term.(const run $ n_arg $ seed_arg $ gst_arg $ horizon_arg $ crashes_arg) in
+  Cmd.v
+    (Cmd.info "stack"
+       ~doc:"Run the oracle-free detector stack (heartbeat ◇W + Figure 4 ◇S) from fully corrupted state.")
+    term
+
+(* --- consensus --- *)
+
+let style_arg =
+  Arg.(
+    value
+    & opt (enum [ ("baseline", Ftss_async.Consensus.baseline); ("ss", Ftss_async.Consensus.self_stabilizing) ])
+        Ftss_async.Consensus.self_stabilizing
+    & info [ "style" ] ~docv:"S" ~doc:"$(b,baseline) or $(b,ss) (self-stabilizing).")
+
+let corruption_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", `None); ("random", `Random); ("parked", `Parked) ]) `Random
+    & info [ "corruption" ] ~docv:"C"
+        ~doc:"Systemic failure to inject: $(b,none), $(b,random) or $(b,parked) (the deadlock state).")
+
+let detector_arg =
+  Arg.(
+    value
+    & opt (enum [ ("oracle", `Oracle); ("heartbeats", `Heartbeats) ]) `Oracle
+    & info [ "detector" ] ~docv:"D"
+        ~doc:"◇W source: the scripted $(b,oracle) or live $(b,heartbeats) (oracle-free).")
+
+let consensus_cmd =
+  let run n seed gst horizon crashes style corruption detector_kind =
+    let open Ftss_async in
+    let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
+    let config =
+      {
+        (Sim.default_config ~n ~seed) with
+        Sim.gst;
+        horizon;
+        crashes;
+        delay_before_gst = (1, 60);
+        delay_after_gst = (1, 4);
+      }
+    in
+    let crashed p = List.assoc_opt p crashes in
+    let trusted =
+      match List.find_opt (fun p -> crashed p = None) (Pid.all n) with
+      | Some p -> p
+      | None -> failwith "no correct process"
+    in
+    let noise = match corruption with `Parked -> 0.0 | `None | `Random -> 0.2 in
+    let oracle = Ewfd.make (Rng.create (seed + 7)) ~n ~crashed ~gst ~trusted ~noise in
+    let corrupt =
+      match corruption with
+      | `None -> None
+      | `Random ->
+        Some
+          (Consensus.corrupt_random (Rng.create (seed + 3)) ~n ~instance_bound:20
+             ~round_bound:30 ~value_bound:90)
+      | `Parked -> Some (Consensus.corrupt_parked ~round:(n + trusted))
+    in
+    let detector =
+      match detector_kind with
+      | `Oracle -> Consensus.Oracle oracle
+      | `Heartbeats -> Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }
+    in
+    let result =
+      Sim.run ?corrupt config (Consensus.process_with ~n ~style ~propose ~detector)
+    in
+    let correct = Sim.correct_set config in
+    let ds = Consensus.decisions result in
+    let grouped = Consensus.per_instance ds ~correct in
+    Format.printf "instances decided (by correct processes): %d@." (List.length grouped);
+    Format.printf "disagreeing instances: %d@." (List.length (Consensus.disagreements grouped));
+    Format.printf "invalid-value instances: %d@."
+      (List.length (Consensus.invalid_instances grouped ~propose ~n));
+    (match Consensus.stabilization_time result ~correct ~propose ~n with
+    | Some t ->
+      Format.printf "stabilized at: t=%d@." t;
+      Format.printf "instances fully decided after stabilization: %d@."
+        (Consensus.fully_decided_after ds ~correct ~from:t)
+    | None -> Format.printf "did not stabilize within the horizon@.");
+    0
+  in
+  let term =
+    Term.(
+      const run $ n_arg $ seed_arg $ gst_arg
+      $ Arg.(value & opt int 4000 & info [ "horizon" ] ~docv:"T" ~doc:"Simulation horizon.")
+      $ crashes_arg $ style_arg $ corruption_arg $ detector_arg)
+  in
+  Cmd.v
+    (Cmd.info "consensus"
+       ~doc:"Run asynchronous repeated consensus (baseline or self-stabilizing) under systemic corruption.")
+    term
+
+(* --- impossibility --- *)
+
+let impossibility_cmd =
+  let run () =
+    let r1 = Impossibility.Theorem1.run ~isolation:8 ~c_p:42 ~c_q:7 ~suffix:10 in
+    let r2 = Impossibility.Theorem2.run ~silence_threshold:4 ~c_p:13 ~c_q:2 ~rounds:12 in
+    Format.printf "Theorem 1 confirmed: %b@." (Impossibility.Theorem1.confirms_theorem r1);
+    Format.printf "Theorem 2 confirmed: %b@." (Impossibility.Theorem2.confirms_theorem r2);
+    if
+      Impossibility.Theorem1.confirms_theorem r1
+      && Impossibility.Theorem2.confirms_theorem r2
+    then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "impossibility" ~doc:"Execute the Theorem 1 and Theorem 2 scenario pairs.")
+    Term.(const run $ const ())
+
+let () =
+  let doc = "Unifying self-stabilization and fault-tolerance (PODC 1993) — simulator and experiments" in
+  let info = Cmd.info "ftss" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
+            impossibility_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/async_consensus.ml: Consensus Ewfd Format Ftss_async Ftss_util List Rng Sim

@@ -1,0 +1,1 @@
+examples/failure_detector.ml: Esfd Ewfd Format Ftss_async Ftss_util List Pid Pidset Rng Sim

@@ -1,0 +1,1 @@
+examples/oracle_free.ml: Consensus Detector_stack Format Ftss_async Ftss_util List Rng Sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Canonical Compiler Faults Format Ftss_core Ftss_protocols Ftss_sync Ftss_util List Omission_consensus Pid Protocol Repeated Rng Runner Solve String

@@ -1,0 +1,1 @@
+examples/repeated_consensus.ml: Canonical Compiler Faults Format Ftss_core Ftss_history Ftss_protocols Ftss_sync Ftss_util List Omission_consensus Pid Pidset Repeated Rng Runner Solve String Trace

@@ -1,0 +1,1 @@
+examples/repeated_consensus.mli:

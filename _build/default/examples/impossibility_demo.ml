@@ -1,0 +1,38 @@
+(* Executable reproductions of the impossibility theorems (Thms 1 and 2).
+
+   Run with: dune exec examples/impossibility_demo.exe *)
+
+open Ftss_core
+
+let () =
+  Format.printf "=== Theorem 1: no finite stabilization time under the tentative definition ===@.";
+  let r1 = Impossibility.Theorem1.run ~isolation:8 ~c_p:42 ~c_q:7 ~suffix:10 in
+  Format.printf "  isolation: %d rounds; round-variable gap when it ends: %d@."
+    r1.Impossibility.Theorem1.isolation r1.Impossibility.Theorem1.gap_at_suffix;
+  Format.printf "  suffix identical to a fresh fault-free run: %b@."
+    r1.Impossibility.Theorem1.suffix_matches_fresh_run;
+  (match r1.Impossibility.Theorem1.rate_violation_round with
+  | Some r ->
+    Format.printf "  reconciling protocol violates the rate condition at suffix round %d@." r
+  | None -> Format.printf "  (no rate violation observed — unexpected)@.");
+  Format.printf "  rate-obeying protocol never reaches agreement: %b@."
+    r1.Impossibility.Theorem1.rate_obeying_never_agrees;
+  Format.printf "  => Theorem 1 confirmed: %b@.@."
+    (Impossibility.Theorem1.confirms_theorem r1);
+
+  Format.printf "=== Theorem 2: uniform protocols cannot ftss-solve anything ===@.";
+  let r2 = Impossibility.Theorem2.run ~silence_threshold:4 ~c_p:13 ~c_q:2 ~rounds:12 in
+  Format.printf "  local views identical whichever process is the faulty one: %b@."
+    r2.Impossibility.Theorem2.views_identical;
+  Format.printf "  'halt-before-harm' strawman halts a correct process: %b@."
+    r2.Impossibility.Theorem2.self_checking_halts_correct_process;
+  Format.printf "  never-halting strawman violates uniformity: %b@."
+    r2.Impossibility.Theorem2.never_halting_violates_uniformity;
+  Format.printf "  => Theorem 2 confirmed: %b@."
+    (Impossibility.Theorem2.confirms_theorem r2);
+
+  if
+    not
+      (Impossibility.Theorem1.confirms_theorem r1
+      && Impossibility.Theorem2.confirms_theorem r2)
+  then exit 1

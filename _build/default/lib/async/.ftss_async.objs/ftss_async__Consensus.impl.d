@@ -1,0 +1,1 @@
+lib/async/consensus.ml: Esfd Ewfd Ftss_util Hashtbl Heartbeat Int List Option Pid Pidmap Pidset Rng Sim

@@ -1,0 +1,1 @@
+lib/async/consensus.mli: Ewfd Ftss_util Pid Pidset Rng Sim

@@ -1,0 +1,1 @@
+lib/async/detector_stack.ml: Array Esfd Ftss_util Heartbeat List Pidset Sim

@@ -1,0 +1,1 @@
+lib/async/detector_stack.mli: Esfd Ftss_util Heartbeat Pid Pidset Rng Sim

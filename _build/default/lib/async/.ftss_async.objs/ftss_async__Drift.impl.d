@@ -1,0 +1,1 @@
+lib/async/drift.ml: Ftss_util Hashtbl List Pidset Rng Sim

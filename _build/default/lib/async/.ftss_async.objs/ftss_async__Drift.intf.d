@@ -1,0 +1,1 @@
+lib/async/drift.mli: Ftss_util Pid Rng Sim

@@ -1,0 +1,1 @@
+lib/async/esfd.ml: Array Ewfd Ftss_util Hashtbl List Pid Pidset Rng Sim

@@ -1,0 +1,1 @@
+lib/async/esfd.mli: Ewfd Ftss_util Pid Pidset Rng Sim

@@ -1,0 +1,1 @@
+lib/async/event_queue.ml: Array

@@ -1,0 +1,1 @@
+lib/async/ewfd.ml: Ftss_util List Option Pid Rng

@@ -1,0 +1,1 @@
+lib/async/ewfd.mli: Ftss_util Pid Rng

@@ -1,0 +1,1 @@
+lib/async/heartbeat.ml: Array Ftss_util List Pid Pidset Rng Sim

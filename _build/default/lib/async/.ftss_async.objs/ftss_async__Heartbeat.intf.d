@@ -1,0 +1,1 @@
+lib/async/heartbeat.mli: Ftss_util Pid Pidset Rng Sim

@@ -1,0 +1,1 @@
+lib/async/sim.ml: Array Event_queue Ftss_util List Pid Pidset Rng

@@ -1,0 +1,1 @@
+lib/async/sim.mli: Ftss_util Pid Pidset

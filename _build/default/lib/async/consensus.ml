@@ -1,0 +1,405 @@
+open Ftss_util
+
+type value = int
+
+type style = { retransmit : bool; round_agreement : bool }
+
+let baseline = { retransmit = false; round_agreement = false }
+let self_stabilizing = { retransmit = true; round_agreement = true }
+let retransmit_only = { retransmit = true; round_agreement = false }
+let round_agreement_only = { retransmit = false; round_agreement = true }
+
+type tag = { instance : int; round : int }
+
+let tag_gt a b =
+  a.instance > b.instance || (a.instance = b.instance && a.round > b.round)
+
+type cmsg =
+  | Est of { tag : tag; estimate : value; ts : int }
+  | Propose of { tag : tag; value : value }
+  | Ack of { tag : tag }
+  | Nack of { tag : tag }
+  | Decide of { instance : int; value : value }
+  | Round of { tag : tag }
+
+type msg = Fd of Esfd.msg | Hb of Heartbeat.msg | Cons of cmsg
+
+type coord_record = {
+  co_round : int;
+  co_ests : (value * int) Pidmap.t;
+  co_proposal : value option;
+  co_acks : Pidset.t;
+}
+
+type state = {
+  fd : Esfd.t;
+  hb : Heartbeat.t option;
+      (* present when the ◇W layer is the heartbeat implementation *)
+  instance : int;
+  round : int;
+  estimate : value;
+  ts : int; (* round in which [estimate] was last adopted; -1 = fresh *)
+  coord : coord_record option; (* bookkeeping for the round we coordinate *)
+  prev_decision : (int * value) option;
+  pending : (Pid.t * cmsg) list;
+      (* future-tagged messages buffered for replay (classic CT91); only
+         populated when the style does not run round agreement *)
+}
+
+type observation =
+  | Decided of { instance : int; value : value }
+  | Joined of tag
+
+let forged_round tag = Cons (Round { tag })
+let forged_decide ~instance ~value = Cons (Decide { instance; value })
+
+type detector_source =
+  | Oracle of Ewfd.t
+  | Heartbeats of { initial_timeout : int; backoff : int }
+
+let coord_of ~n round = ((round mod n) + n) mod n
+let majority n = (n / 2) + 1
+let current_tag st = { instance = st.instance; round = st.round }
+
+let fresh_record round =
+  { co_round = round; co_ests = Pidmap.empty; co_proposal = None; co_acks = Pidset.empty }
+
+let tag_of_cmsg = function
+  | Est { tag; _ } | Propose { tag; _ } | Ack { tag } | Nack { tag } | Round { tag } ->
+    Some tag
+  | Decide _ -> None
+
+let pending_cap = 256
+
+(* Entering a round: send the phase-1 estimate to the coordinator; start a
+   coordination record when we are that coordinator. *)
+let enter ctx ~n st ~round =
+  let c = coord_of ~n round in
+  let st = { st with round } in
+  Sim.send ctx c (Cons (Est { tag = current_tag st; estimate = st.estimate; ts = st.ts }));
+  let coord = if Pid.equal c (Sim.self ctx) then Some (fresh_record round) else st.coord in
+  { st with coord }
+
+(* Round agreement: abandon current work and join a newer (instance, round). *)
+let jump ctx ~n ~propose st target =
+  Sim.observe ctx (Joined target);
+  let st =
+    if target.instance > st.instance then
+      {
+        st with
+        instance = target.instance;
+        estimate = propose (Sim.self ctx) target.instance;
+        ts = -1;
+        coord = None;
+      }
+    else st
+  in
+  enter ctx ~n st ~round:target.round
+
+(* Learn the decision of [instance] (>= ours) and start the next one. *)
+let learn_decision ctx ~n ~propose st ~instance ~value =
+  Sim.observe ctx (Decided { instance; value });
+  let next = instance + 1 in
+  let st =
+    {
+      st with
+      instance = next;
+      estimate = propose (Sim.self ctx) next;
+      ts = -1;
+      coord = None;
+      prev_decision = Some (instance, value);
+    }
+  in
+  enter ctx ~n st ~round:0
+
+let process_with ~n ~style ~propose ~detector =
+  let maybe_propose ctx st co =
+    (* Phase 2: with a majority of estimates and no proposal yet, propose
+       the estimate with the newest timestamp (ties broken by lowest pid,
+       deterministically). *)
+    match co.co_proposal with
+    | Some _ -> co
+    | None ->
+      if Pidmap.cardinal co.co_ests < majority n then co
+      else begin
+        let _, (best, _) =
+          Pidmap.fold
+            (fun pid (est, ts) (best_pid, (best_est, best_ts)) ->
+              if ts > best_ts then (pid, (est, ts)) else (best_pid, (best_est, best_ts)))
+            co.co_ests
+            (Pidmap.min_binding co.co_ests)
+        in
+        Sim.broadcast ctx
+          (Cons (Propose { tag = { instance = st.instance; round = co.co_round }; value = best }));
+        { co with co_proposal = Some best }
+      end
+  in
+  let maybe_decide ctx st co =
+    (* Phase 4: a majority of acks lets the coordinator broadcast the
+       decision (receivers are idempotent, so repeats are harmless). *)
+    match co.co_proposal with
+    | Some v when Pidset.cardinal co.co_acks >= majority n ->
+      Sim.broadcast ctx (Cons (Decide { instance = st.instance; value = v }))
+    | Some _ | None -> ()
+  in
+  (* Handle one consensus message whose tag is current (or untagged). *)
+  let rec handle ctx st ~src cm =
+    match cm with
+    | Decide { instance; value } ->
+      if instance >= st.instance then
+        drain ctx (learn_decision ctx ~n ~propose st ~instance ~value)
+      else st
+    | Est _ | Propose _ | Ack _ | Nack _ | Round _ ->
+      let t = Option.get (tag_of_cmsg cm) in
+      let st =
+        if tag_gt t (current_tag st) then
+          if style.round_agreement then jump ctx ~n ~propose st t
+          else
+            (* Classic CT: buffer for replay when we reach that round. *)
+            { st with pending = (src, cm) :: List.filteri (fun i _ -> i < pending_cap - 1) st.pending }
+        else st
+      in
+      if tag_gt t (current_tag st) then st (* buffered: nothing else to do *)
+      else if t.instance <> st.instance then st
+      else begin
+        match cm with
+        | Round _ | Nack _ -> st
+        | Est { tag; estimate; ts } ->
+          (* A coordinator whose record was lost to a systemic failure (or
+             that is being addressed by retransmissions) reconstructs it. *)
+          let st =
+            if
+              Pid.equal (coord_of ~n tag.round) (Sim.self ctx)
+              && tag.round = st.round && st.coord = None
+            then { st with coord = Some (fresh_record tag.round) }
+            else st
+          in
+          (match st.coord with
+          | Some co when co.co_round = tag.round ->
+            let co = { co with co_ests = Pidmap.add src (estimate, ts) co.co_ests } in
+            let co = maybe_propose ctx st co in
+            { st with coord = Some co }
+          | Some _ | None -> st)
+        | Propose { tag; value } ->
+          if tag.round = st.round then begin
+            (* Phase 3 (ack): adopt the proposal, reply, move to the next
+               round. *)
+            Sim.send ctx (coord_of ~n tag.round) (Cons (Ack { tag }));
+            let st = { st with estimate = value; ts = tag.round } in
+            drain ctx (enter ctx ~n st ~round:(st.round + 1))
+          end
+          else st
+        | Ack { tag } ->
+          (match st.coord with
+          | Some co when co.co_round = tag.round ->
+            let co = { co with co_acks = Pidset.add src co.co_acks } in
+            maybe_decide ctx st co;
+            { st with coord = Some co }
+          | Some _ | None -> st)
+        | Decide _ -> assert false
+      end
+  (* Replay buffered messages that have become current; drop stale ones.
+     Progress is guaranteed: each iteration removes one message. *)
+  and drain ctx st =
+    if style.round_agreement then st
+    else begin
+      let cur = current_tag st in
+      let live =
+        List.filter
+          (fun (_, m) ->
+            match tag_of_cmsg m with
+            | Some t -> not (tag_gt cur t)
+            | None -> false)
+          st.pending
+      in
+      let matching, future =
+        List.partition (fun (_, m) -> tag_of_cmsg m = Some cur) live
+      in
+      match matching with
+      | [] -> { st with pending = future }
+      | (src, m) :: rest ->
+        let st = { st with pending = rest @ future } in
+        drain ctx (handle ctx st ~src m)
+    end
+  in
+  let on_tick ctx st =
+    let at = Sim.now ctx and self = Sim.self ctx in
+    (* ◇W layer: either the scripted oracle or live heartbeats. *)
+    let st, detect =
+      match (detector, st.hb) with
+      | Oracle oracle, _ ->
+        (st, fun s -> Ewfd.detect oracle ~at ~observer:self ~subject:s)
+      | Heartbeats _, Some hb ->
+        Sim.broadcast ctx (Hb Heartbeat.Heartbeat);
+        let hb = Heartbeat.tick hb ~self ~now:at in
+        ({ st with hb = Some hb }, Heartbeat.suspected hb)
+      | Heartbeats _, None -> (st, fun _ -> false)
+    in
+    (* Failure-detector maintenance (Figure 4). *)
+    let fd, fd_msg = Esfd.tick st.fd ~self ~detect in
+    Sim.broadcast ctx (Fd fd_msg);
+    let st = { st with fd } in
+    (* Phase 3 (nack): give up on a suspected coordinator. *)
+    let c = coord_of ~n st.round in
+    let st =
+      if (not (Pid.equal c self)) && Esfd.suspected st.fd c then begin
+        Sim.send ctx c (Cons (Nack { tag = current_tag st }));
+        drain ctx (enter ctx ~n st ~round:(st.round + 1))
+      end
+      else st
+    in
+    let st =
+      if not style.retransmit then st
+      else begin
+        (* Re-send every message of the unfinished phase and reconstruct
+           lost coordinator state. *)
+        let st =
+          if Pid.equal (coord_of ~n st.round) self && st.coord = None then
+            { st with coord = Some (fresh_record st.round) }
+          else st
+        in
+        Sim.send ctx (coord_of ~n st.round)
+          (Cons (Est { tag = current_tag st; estimate = st.estimate; ts = st.ts }));
+        (match st.coord with
+        | Some co ->
+          (match co.co_proposal with
+          | Some v ->
+            Sim.broadcast ctx
+              (Cons (Propose { tag = { instance = st.instance; round = co.co_round }; value = v }))
+          | None -> ());
+          maybe_decide ctx st co
+        | None -> ());
+        (match st.prev_decision with
+        | Some (i, v) -> Sim.broadcast ctx (Cons (Decide { instance = i; value = v }))
+        | None -> ());
+        st
+      end
+    in
+    (* The round agreement heartbeat (the Figure 1 broadcast). *)
+    if style.round_agreement then
+      Sim.broadcast ctx (Cons (Round { tag = current_tag st }));
+    st
+  in
+  {
+    Sim.name =
+      (match (style.retransmit, style.round_agreement) with
+      | false, false -> "ct-consensus"
+      | true, true -> "ss-ct-consensus"
+      | true, false -> "ct-consensus+retransmit"
+      | false, true -> "ct-consensus+round-agreement");
+    init =
+      (fun p ->
+        {
+          fd = Esfd.create ~n;
+          hb =
+            (match detector with
+            | Oracle _ -> None
+            | Heartbeats { initial_timeout; backoff } ->
+              Some (Heartbeat.create ~n ~initial_timeout ~backoff));
+          instance = 0;
+          round = 0;
+          estimate = propose p 0;
+          ts = -1;
+          coord = None;
+          prev_decision = None;
+          pending = [];
+        });
+    on_message =
+      (fun ctx st ~src m ->
+        match m with
+        | Fd fm -> { st with fd = Esfd.receive st.fd fm }
+        | Hb Heartbeat.Heartbeat ->
+          (match st.hb with
+          | Some hb -> { st with hb = Some (Heartbeat.heard hb ~src ~now:(Sim.now ctx)) }
+          | None -> st)
+        | Cons cm -> handle ctx st ~src cm);
+    on_tick;
+  }
+
+let process ~n ~style ~propose ~oracle =
+  process_with ~n ~style ~propose ~detector:(Oracle oracle)
+
+let corrupt_random rng ~n:_ ~instance_bound ~round_bound ~value_bound _pid st =
+  {
+    fd = Esfd.corrupt rng ~num_bound:1000 st.fd;
+    hb =
+      Option.map
+        (fun hb -> Heartbeat.corrupt rng ~time_bound:10_000 ~timeout_bound:150 hb)
+        st.hb;
+    instance = Rng.int rng instance_bound;
+    round = Rng.int rng round_bound;
+    estimate = Rng.int rng value_bound;
+    ts = (if Rng.chance rng 0.3 then Rng.int rng 1_000_000 else -1);
+    coord = None;
+    prev_decision =
+      (if Rng.chance rng 0.3 then Some (Rng.int rng instance_bound, Rng.int rng value_bound)
+       else None);
+    pending = [];
+  }
+
+let corrupt_parked ~round _pid st = { st with instance = 0; round; coord = None; pending = [] }
+
+type decision = { d_time : int; d_pid : Pid.t; d_instance : int; d_value : value }
+
+let decisions (result : (state, observation) Sim.result) =
+  List.filter_map
+    (fun (time, pid, obs) ->
+      match obs with
+      | Decided { instance; value } ->
+        Some { d_time = time; d_pid = pid; d_instance = instance; d_value = value }
+      | Joined _ -> None)
+    result.Sim.log
+
+let per_instance ds ~correct =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      if Pidset.mem d.d_pid correct then
+        Hashtbl.replace tbl d.d_instance
+          (d :: Option.value ~default:[] (Hashtbl.find_opt tbl d.d_instance)))
+    ds;
+  Hashtbl.fold (fun i ds acc -> (i, List.rev ds) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+let disagreements grouped =
+  List.filter_map
+    (fun (i, ds) ->
+      match ds with
+      | [] -> None
+      | first :: rest ->
+        if List.for_all (fun d -> d.d_value = first.d_value) rest then None else Some i)
+    grouped
+
+let invalid_instances grouped ~propose ~n =
+  List.filter_map
+    (fun (i, ds) ->
+      let legal v = List.exists (fun p -> propose p i = v) (Pid.all n) in
+      if List.for_all (fun d -> legal d.d_value) ds then None else Some i)
+    grouped
+
+let stabilization_time result ~correct ~propose ~n =
+  let ds = decisions result in
+  let grouped = per_instance ds ~correct in
+  let bad_instances = disagreements grouped @ invalid_instances grouped ~propose ~n in
+  let last_bad =
+    List.fold_left
+      (fun acc d -> if List.mem d.d_instance bad_instances then max acc d.d_time else acc)
+      (-1) ds
+  in
+  let t = last_bad + 1 in
+  (* A violation still occurring in the final tenth of the run is evidence
+     the system had not stabilized within the horizon. *)
+  if t > result.Sim.end_time * 9 / 10 then None else Some t
+
+let fully_decided_after ds ~correct ~from =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun d ->
+      if Pidset.mem d.d_pid correct && d.d_time >= from then
+        Hashtbl.replace tbl d.d_instance
+          (Pidset.add d.d_pid
+             (Option.value ~default:Pidset.empty (Hashtbl.find_opt tbl d.d_instance))))
+    ds;
+  Hashtbl.fold
+    (fun _ pids acc -> if Pidset.equal pids correct then acc + 1 else acc)
+    tbl 0

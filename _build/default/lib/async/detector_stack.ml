@@ -1,0 +1,82 @@
+open Ftss_util
+
+type state = { hb : Heartbeat.t; fd : Esfd.t }
+
+type msg = Hb of Heartbeat.msg | Fd of Esfd.msg
+
+type observation = Suspects of Pidset.t
+
+let process ~n ~initial_timeout ~backoff =
+  {
+    Sim.name = "detector-stack";
+    init =
+      (fun _ ->
+        { hb = Heartbeat.create ~n ~initial_timeout ~backoff; fd = Esfd.create ~n });
+    on_tick =
+      (fun ctx st ->
+        let self = Sim.self ctx and now = Sim.now ctx in
+        Sim.broadcast ctx (Hb Heartbeat.Heartbeat);
+        let hb = Heartbeat.tick st.hb ~self ~now in
+        (* Figure 4's detect(s) predicate is the heartbeat layer's output. *)
+        let fd, fd_msg = Esfd.tick st.fd ~self ~detect:(Heartbeat.suspected hb) in
+        Sim.broadcast ctx (Fd fd_msg);
+        Sim.observe ctx (Suspects (Esfd.suspects fd));
+        { hb; fd });
+    on_message =
+      (fun ctx st ~src m ->
+        match m with
+        | Hb Heartbeat.Heartbeat ->
+          { st with hb = Heartbeat.heard st.hb ~src ~now:(Sim.now ctx) }
+        | Fd fm ->
+          let fd = Esfd.receive st.fd fm in
+          let before = Esfd.suspects st.fd and after = Esfd.suspects fd in
+          if not (Pidset.equal before after) then Sim.observe ctx (Suspects after);
+          { st with fd });
+  }
+
+let corrupt rng ~time_bound ~timeout_bound ~num_bound _pid st =
+  {
+    hb = Heartbeat.corrupt rng ~time_bound ~timeout_bound st.hb;
+    fd = Esfd.corrupt rng ~num_bound st.fd;
+  }
+
+type report = {
+  convergence_time : int option;
+  completeness_from : int option;
+  accuracy_from : int option;
+}
+
+let analyze (result : (state, observation) Sim.result) ~config =
+  let n = config.Sim.n in
+  let crashed = Sim.crashed_set config in
+  let correct = Sim.correct_set config in
+  let last_completeness_violation = ref (-1) in
+  (* Weak accuracy wants one correct process clear of suspicion
+     everywhere: track, per candidate, the last time any correct process
+     suspected it. *)
+  let last_suspected = Array.make n (-1) in
+  List.iter
+    (fun (time, pid, Suspects set) ->
+      if Pidset.mem pid correct then begin
+        if not (Pidset.subset crashed set) then
+          last_completeness_violation := max !last_completeness_violation time;
+        Pidset.iter (fun s -> last_suspected.(s) <- max last_suspected.(s) time) set
+      end)
+    result.Sim.log;
+  let settle last = if last + 1 >= result.Sim.end_time then None else Some (last + 1) in
+  let completeness_from = settle !last_completeness_violation in
+  let accuracy_from =
+    Pidset.fold
+      (fun candidate best ->
+        match (settle last_suspected.(candidate), best) with
+        | Some t, Some b -> Some (min t b)
+        | Some t, None -> Some t
+        | None, best -> best)
+      correct None
+  in
+  let convergence_time =
+    match (completeness_from, accuracy_from) with
+    | Some a, Some b -> Some (max a b)
+    | None, _ | _, None -> None
+  in
+  { convergence_time; completeness_from; accuracy_from }

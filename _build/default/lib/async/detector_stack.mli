@@ -1,0 +1,45 @@
+(** The full failure-detection stack, with no oracle anywhere:
+    partial synchrony → heartbeat ◇W ({!Heartbeat}) → Figure 4 transform
+    ({!Esfd}) → ◇S.
+
+    The paper assumes an Eventually Weak detector is given ("detect(s) is
+    managed by an Eventually Weak failure detector"); this module
+    discharges that assumption inside the model, so Theorem 5 can be
+    exercised end-to-end: every bit of detector state — the heartbeat
+    deadlines {e and} the transform's num/state tables — may be corrupted
+    by the systemic failure, and the stack still converges to strong
+    completeness and eventual weak accuracy. *)
+
+open Ftss_util
+
+type state
+
+type msg = Hb of Heartbeat.msg | Fd of Esfd.msg
+
+type observation = Suspects of Pidset.t
+(** The ◇S-level (transform output) suspect set, observed every tick. *)
+
+val process :
+  n:int -> initial_timeout:int -> backoff:int -> (state, msg, observation) Sim.process
+
+(** [corrupt rng ~n ...] corrupts both layers. *)
+val corrupt :
+  Rng.t ->
+  time_bound:int ->
+  timeout_bound:int ->
+  num_bound:int ->
+  Pid.t ->
+  state ->
+  state
+
+type report = {
+  convergence_time : int option;
+  completeness_from : int option;
+  accuracy_from : int option;
+}
+
+(** [analyze result ~config] checks ◇S properties of the transform output:
+    strong completeness, and eventual weak accuracy in its literal form —
+    {e some} correct process is eventually never suspected by any correct
+    process. *)
+val analyze : (state, observation) Sim.result -> config:Sim.config -> report

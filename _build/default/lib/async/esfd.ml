@@ -1,0 +1,131 @@
+open Ftss_util
+
+type status = Dead | Alive
+
+type t = { nums : int array; statuses : status array }
+
+type entry = { subject : Pid.t; num : int; status : status }
+type msg = entry list
+
+let create ~n = { nums = Array.make n 0; statuses = Array.make n Alive }
+
+let corrupt rng ~num_bound t =
+  {
+    nums = Array.map (fun _ -> Rng.int rng num_bound) t.nums;
+    statuses = Array.map (fun _ -> if Rng.bool rng then Dead else Alive) t.statuses;
+  }
+
+let bump t s status =
+  let nums = Array.copy t.nums and statuses = Array.copy t.statuses in
+  nums.(s) <- nums.(s) + 1;
+  statuses.(s) <- status;
+  { nums; statuses }
+
+let tick t ~self ~detect =
+  let n = Array.length t.nums in
+  let t =
+    List.fold_left
+      (fun acc s ->
+        if Pid.equal s self then bump acc s Alive
+        else if detect s then bump acc s Dead
+        else acc)
+      t (Pid.all n)
+  in
+  let message =
+    List.map (fun s -> { subject = s; num = t.nums.(s); status = t.statuses.(s) }) (Pid.all n)
+  in
+  (t, message)
+
+let receive t message =
+  let nums = Array.copy t.nums and statuses = Array.copy t.statuses in
+  List.iter
+    (fun e ->
+      if e.num > nums.(e.subject) then begin
+        nums.(e.subject) <- e.num;
+        statuses.(e.subject) <- e.status
+      end)
+    message;
+  { nums; statuses }
+
+let suspected t s = t.statuses.(s) = Dead
+
+let suspects t =
+  Pidset.of_pred (Array.length t.statuses) (fun s -> suspected t s)
+
+type observation = Suspects of Pidset.t
+
+let process ~n ~oracle =
+  ignore n;
+  {
+    Sim.name = "esfd";
+    init = (fun _ -> create ~n);
+    on_tick =
+      (fun ctx t ->
+        let at = Sim.now ctx and self = Sim.self ctx in
+        let detect s = Ewfd.detect oracle ~at ~observer:self ~subject:s in
+        let t, message = tick t ~self ~detect in
+        Sim.broadcast ctx message;
+        Sim.observe ctx (Suspects (suspects t));
+        t);
+    on_message =
+      (fun ctx t ~src:_ message ->
+        let before = suspects t in
+        let t = receive t message in
+        let after = suspects t in
+        if not (Pidset.equal before after) then Sim.observe ctx (Suspects after);
+        t);
+  }
+
+type report = {
+  convergence_time : int option;
+  completeness_from : int option;
+  accuracy_from : int option;
+}
+
+let analyze (result : (t, observation) Sim.result) ~config ~trusted =
+  let crashed = Sim.crashed_set config in
+  let correct = Sim.correct_set config in
+  (* Per correct process: the time after its last completeness violation
+     (suspect set not covering the crashed set) and after its last
+     accuracy violation (trusted suspected), judged over the log. *)
+  let last_completeness_violation = Hashtbl.create 8 in
+  let last_accuracy_violation = ref (-1) in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (time, pid, Suspects set) ->
+      if Pidset.mem pid correct then begin
+        Hashtbl.replace seen pid ();
+        if not (Pidset.subset crashed set) then
+          Hashtbl.replace last_completeness_violation pid time;
+        if Pidset.mem trusted set then last_accuracy_violation := max !last_accuracy_violation time
+      end)
+    result.Sim.log;
+  let all_correct_observed =
+    Pidset.for_all (fun p -> Hashtbl.mem seen p) correct
+  in
+  if not all_correct_observed then
+    { convergence_time = None; completeness_from = None; accuracy_from = None }
+  else begin
+    (* A violation at the very end of the run means no convergence was
+       observed within the horizon. *)
+    let final_ok_margin = result.Sim.end_time in
+    let completeness_from =
+      let worst =
+        Pidset.fold
+          (fun p acc ->
+            max acc (match Hashtbl.find_opt last_completeness_violation p with Some t -> t + 1 | None -> 0))
+          correct 0
+      in
+      if worst >= final_ok_margin then None else Some worst
+    in
+    let accuracy_from =
+      let t = !last_accuracy_violation + 1 in
+      if t >= final_ok_margin then None else Some t
+    in
+    let convergence_time =
+      match (completeness_from, accuracy_from) with
+      | Some a, Some b -> Some (max a b)
+      | None, _ | _, None -> None
+    in
+    { convergence_time; completeness_from; accuracy_from }
+  end

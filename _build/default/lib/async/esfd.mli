@@ -1,0 +1,84 @@
+(** The Eventually Strong failure detector of Figure 4 — the paper's
+    initialization-free ◇W → ◇S transform (Theorem 5).
+
+    For every subject s, each process keeps a counter [num[s]] and a
+    status [state[s]] ("dead"/"alive"):
+
+    - when the underlying ◇W detector flags s: [num[s]+1, dead];
+    - when the process {e is} s: [num[s]+1, alive];
+    - continually: broadcast [(s, num[s], state[s])];
+    - on delivery of [(s, n, st)] with [n > num[s]]: adopt [(n, st)].
+
+    The protocol needs no initialization: whatever junk a systemic failure
+    leaves in the counters is washed out because the merge rule lifts
+    everyone to the maximum and live subjects / detecting observers keep
+    incrementing past it. This module is the pure state machine; the
+    {!process} function packages it as a {!Sim.process} together with a
+    ◇W oracle, and {!analyze} checks Theorem 5's two properties on the
+    observation log. *)
+
+open Ftss_util
+
+type status = Dead | Alive
+
+type t
+(** One process's detector state (num / state arrays). *)
+
+type entry = { subject : Pid.t; num : int; status : status }
+
+type msg = entry list
+(** One broadcast: the process's full (subject, num, state) table. The
+    paper sends one message per subject; batching them into a single
+    network message is delivery-equivalent and keeps event counts low. *)
+
+(** [create ~n] is the "good" initial state: all alive at num 0. *)
+val create : n:int -> t
+
+(** [corrupt rng ~num_bound t] draws arbitrary counters in [0, num_bound)
+    and arbitrary statuses — the systemic failure. *)
+val corrupt : Rng.t -> num_bound:int -> t -> t
+
+(** [tick t ~self ~detect] performs the spontaneous actions of Figure 4
+    for one timer firing: increments for the process itself and for every
+    subject flagged by [detect], then returns the new state and the
+    message to broadcast. *)
+val tick : t -> self:Pid.t -> detect:(Pid.t -> bool) -> t * msg
+
+(** [receive t msg] applies the merge rule to every entry. *)
+val receive : t -> msg -> t
+
+(** [suspected t s] is true iff [state[s] = Dead]. *)
+val suspected : t -> Pid.t -> bool
+
+(** The set of suspected processes. *)
+val suspects : t -> Pidset.t
+
+(** {2 Running it over the network} *)
+
+type observation = Suspects of Pidset.t
+(** Logged whenever a process's suspect set changes. *)
+
+(** [process ~n ~oracle] is the Sim process: on every tick it queries the
+    ◇W oracle, performs {!tick} and broadcasts; on every message it
+    merges. Changes to the suspect set are observed. *)
+val process : n:int -> oracle:Ewfd.t -> (t, msg, observation) Sim.process
+
+type report = {
+  convergence_time : int option;
+      (** earliest time from which both ◇S properties hold through the end
+          of the run, if any *)
+  completeness_from : int option;
+      (** earliest time from which every correct process permanently
+          suspects every crashed process *)
+  accuracy_from : int option;
+      (** earliest time from which no correct process ever suspects the
+          trusted process *)
+}
+
+(** [analyze result ~config ~trusted] evaluates Theorem 5 on a run:
+    strong completeness (eventually {e every} correct process suspects
+    every crashed process, permanently) and eventual weak accuracy (the
+    trusted process is eventually never suspected by any correct
+    process). *)
+val analyze :
+  (t, observation) Sim.result -> config:Sim.config -> trusted:Pid.t -> report

@@ -1,0 +1,64 @@
+type 'e entry = { time : int; seq : int; event : 'e }
+
+type 'e t = { mutable heap : 'e entry array; mutable size : int; mutable next_seq : int }
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let size t = t.size
+
+let precedes a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let capacity = Array.length t.heap in
+  if t.size = capacity then begin
+    let fresh = Array.make (max 16 (2 * capacity)) t.heap.(0) in
+    Array.blit t.heap 0 fresh 0 capacity;
+    t.heap <- fresh
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if precedes t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && precedes t.heap.(left) t.heap.(!smallest) then smallest := left;
+  if right < t.size && precedes t.heap.(right) t.heap.(!smallest) then smallest := right;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time event =
+  if time < 0 then invalid_arg "Event_queue.push: negative time";
+  let entry = { time; seq = t.next_seq; event } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.heap = 0 then t.heap <- Array.make 16 entry
+  else grow t;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some (top.time, top.event)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

@@ -1,0 +1,21 @@
+(** A deterministic priority queue of timed events.
+
+    Events are ordered by (time, insertion sequence): ties in time resolve
+    in insertion order, which makes every simulation replayable from its
+    seed alone. *)
+
+type 'e t
+
+val create : unit -> 'e t
+val is_empty : 'e t -> bool
+val size : 'e t -> int
+
+(** [push t ~time e] schedules [e]. Raises [Invalid_argument] on negative
+    time. *)
+val push : 'e t -> time:int -> 'e -> unit
+
+(** [pop t] removes and returns the earliest event, [(time, e)]. *)
+val pop : 'e t -> (int * 'e) option
+
+(** [peek_time t] is the time of the earliest event without removing it. *)
+val peek_time : 'e t -> int option

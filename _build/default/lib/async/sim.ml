@@ -1,0 +1,157 @@
+open Ftss_util
+
+type time = int
+
+type ('m, 'o) ctx = {
+  ctx_now : time;
+  ctx_self : Pid.t;
+  ctx_n : int;
+  mutable outbox : (Pid.t * 'm) list; (* reversed *)
+  mutable observations : 'o list; (* reversed *)
+}
+
+let send ctx dst msg = ctx.outbox <- (dst, msg) :: ctx.outbox
+
+let broadcast ctx msg =
+  List.iter (fun dst -> send ctx dst msg) (Pid.all ctx.ctx_n)
+
+let observe ctx o = ctx.observations <- o :: ctx.observations
+let now ctx = ctx.ctx_now
+let self ctx = ctx.ctx_self
+
+type ('s, 'm, 'o) process = {
+  name : string;
+  init : Pid.t -> 's;
+  on_message : ('m, 'o) ctx -> 's -> src:Pid.t -> 'm -> 's;
+  on_tick : ('m, 'o) ctx -> 's -> 's;
+}
+
+type config = {
+  n : int;
+  seed : int;
+  gst : time;
+  delay_before_gst : int * int;
+  delay_after_gst : int * int;
+  tick_interval : int;
+  crashes : (Pid.t * time) list;
+  horizon : time;
+}
+
+let default_config ~n ~seed =
+  {
+    n;
+    seed;
+    gst = 500;
+    delay_before_gst = (1, 120);
+    delay_after_gst = (1, 8);
+    tick_interval = 10;
+    crashes = [];
+    horizon = 5000;
+  }
+
+type ('s, 'o) result = {
+  final_states : 's option array;
+  log : (time * Pid.t * 'o) list;
+  delivered : int;
+  dropped_after_crash : int;
+  end_time : time;
+}
+
+type 'm event =
+  | Deliver of { src : Pid.t; dst : Pid.t; msg : 'm }
+  | Tick of Pid.t
+
+let crashed_set config =
+  List.fold_left
+    (fun acc (p, t) -> if t <= config.horizon then Pidset.add p acc else acc)
+    Pidset.empty config.crashes
+
+let correct_set config = Pidset.diff (Pidset.full config.n) (crashed_set config)
+
+let run ?corrupt ?(spurious = []) config process =
+  if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
+  if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
+  let rng = Rng.create config.seed in
+  let queue = Event_queue.create () in
+  let crash_time = Array.make config.n max_int in
+  List.iter
+    (fun (p, t) -> crash_time.(p) <- min crash_time.(p) t)
+    config.crashes;
+  let alive p ~at = at < crash_time.(p) in
+  let initial p =
+    let s = process.init p in
+    match corrupt with None -> s | Some c -> c p s
+  in
+  let states = Array.init config.n (fun p -> Some (initial p)) in
+  let log = ref [] in
+  let delivered = ref 0 in
+  let dropped_after_crash = ref 0 in
+  let delay ~at =
+    let lo, hi = if at < config.gst then config.delay_before_gst else config.delay_after_gst in
+    Rng.int_in rng (max 1 lo) (max 1 hi)
+  in
+  let flush_ctx ctx =
+    List.iter
+      (fun (dst, msg) ->
+        let t = ctx.ctx_now + delay ~at:ctx.ctx_now in
+        Event_queue.push queue ~time:t (Deliver { src = ctx.ctx_self; dst; msg }))
+      (List.rev ctx.outbox);
+    List.iter
+      (fun o -> log := (ctx.ctx_now, ctx.ctx_self, o) :: !log)
+      (List.rev ctx.observations)
+  in
+  let step p at f =
+    match states.(p) with
+    | None -> ()
+    | Some s ->
+      if alive p ~at then begin
+        let ctx =
+          { ctx_now = at; ctx_self = p; ctx_n = config.n; outbox = []; observations = [] }
+        in
+        let s' = f ctx s in
+        flush_ctx ctx;
+        states.(p) <- Some s'
+      end
+      else states.(p) <- None
+  in
+  (* Initial ticks, staggered so processes do not step in lockstep. *)
+  List.iter
+    (fun p -> Event_queue.push queue ~time:(1 + (p mod config.tick_interval)) (Tick p))
+    (Pid.all config.n);
+  List.iter
+    (fun (t, src, dst, msg) -> Event_queue.push queue ~time:t (Deliver { src; dst; msg }))
+    spurious;
+  let end_time = ref 0 in
+  let rec loop () =
+    match Event_queue.pop queue with
+    | None -> ()
+    | Some (t, _) when t > config.horizon -> end_time := config.horizon
+    | Some (t, event) ->
+      end_time := t;
+      (match event with
+      | Deliver { src; dst; msg } ->
+        if alive dst ~at:t && states.(dst) <> None then begin
+          incr delivered;
+          step dst t (fun ctx s -> process.on_message ctx s ~src msg)
+        end
+        else incr dropped_after_crash
+      | Tick p ->
+        if alive p ~at:t && states.(p) <> None then begin
+          step p t process.on_tick;
+          Event_queue.push queue ~time:(t + config.tick_interval) (Tick p)
+        end);
+      loop ()
+  in
+  loop ();
+  (* Mark crashed processes in the final state vector. *)
+  Array.iteri
+    (fun p st ->
+      if st <> None && not (alive p ~at:config.horizon) then states.(p) <- None)
+    (Array.copy states);
+  {
+    final_states = states;
+    log = List.rev !log;
+    delivered = !delivered;
+    dropped_after_crash = !dropped_after_crash;
+    end_time = !end_time;
+  }

@@ -1,0 +1,91 @@
+(** Deterministic discrete-event simulation of an asynchronous
+    message-passing system with crash failures and partial synchrony.
+
+    Asynchrony is modelled GST-style (Dwork-Lynch-Stockmeyer / the
+    standard way "eventually" is realised for ◇-failure-detectors): before
+    a global stabilization time [gst] message delays are drawn from a wide
+    adversarial range, after it from a narrow one; process steps are
+    driven by periodic local ticks. Every random choice comes from the
+    seeded generator in the config, so runs are replayable.
+
+    Systemic failures are modelled exactly as in the synchronous
+    substrate: an optional corruption function rewrites each process's
+    protocol-specified initial state; [spurious] additionally plants
+    adversarial messages in the channels (the KP90 concern that the
+    initial state "falsely indicates that every process has sent a
+    message"). *)
+
+open Ftss_util
+
+type time = int
+
+(** What a step may do, accumulated through the context handle. *)
+type ('m, 'o) ctx
+
+(** [send ctx dst msg] enqueues a point-to-point message. *)
+val send : ('m, 'o) ctx -> Pid.t -> 'm -> unit
+
+(** [broadcast ctx msg] sends to every process, the sender included
+    (delivered through the network like any other message). *)
+val broadcast : ('m, 'o) ctx -> 'm -> unit
+
+(** [observe ctx o] appends an observation to the run's log — the
+    mechanism by which protocols expose decisions, suspicions, etc. to
+    the checkers without the engine snapshotting whole states. *)
+val observe : ('m, 'o) ctx -> 'o -> unit
+
+(** Current simulated time. *)
+val now : ('m, 'o) ctx -> time
+
+(** The stepping process's own pid. *)
+val self : ('m, 'o) ctx -> Pid.t
+
+type ('s, 'm, 'o) process = {
+  name : string;
+  init : Pid.t -> 's;
+  on_message : ('m, 'o) ctx -> 's -> src:Pid.t -> 'm -> 's;
+  on_tick : ('m, 'o) ctx -> 's -> 's;
+}
+
+type config = {
+  n : int;
+  seed : int;
+  gst : time;  (** global stabilization time *)
+  delay_before_gst : int * int;  (** inclusive delay range before GST *)
+  delay_after_gst : int * int;  (** inclusive delay range after GST *)
+  tick_interval : int;  (** period of local timers; >= 1 *)
+  crashes : (Pid.t * time) list;  (** pid stops processing at that time *)
+  horizon : time;  (** simulation end time *)
+}
+
+val default_config : n:int -> seed:int -> config
+(** 5 processes' worth of sane defaults: [gst = 500],
+    [delay_before_gst = (1, 120)], [delay_after_gst = (1, 8)],
+    [tick_interval = 10], no crashes, [horizon = 5000] (n and seed as
+    given). *)
+
+type ('s, 'o) result = {
+  final_states : 's option array;  (** [None] = crashed *)
+  log : (time * Pid.t * 'o) list;  (** observations, oldest first *)
+  delivered : int;  (** messages delivered *)
+  dropped_after_crash : int;  (** messages addressed to crashed processes *)
+  end_time : time;
+}
+
+(** [run ?corrupt ?spurious config process] executes until the horizon (or
+    until the event queue drains). [spurious (time, src, dst, msg)] events
+    are injected into the channels at start-up. Raises [Invalid_argument]
+    on non-positive [tick_interval] or [horizon]. *)
+val run :
+  ?corrupt:(Pid.t -> 's -> 's) ->
+  ?spurious:(time * Pid.t * Pid.t * 'm) list ->
+  config ->
+  ('s, 'm, 'o) process ->
+  ('s, 'o) result
+
+(** [crashed_set config] is the set of processes that crash within the
+    horizon — the faulty set of an asynchronous run. *)
+val crashed_set : config -> Pidset.t
+
+(** [correct_set config] is its complement. *)
+val correct_set : config -> Pidset.t

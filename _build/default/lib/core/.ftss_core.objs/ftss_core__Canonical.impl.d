@@ -1,0 +1,1 @@
+lib/core/canonical.ml: Ftss_sync Ftss_util List Option Pid

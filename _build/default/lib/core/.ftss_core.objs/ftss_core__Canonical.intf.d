@@ -1,0 +1,1 @@
+lib/core/canonical.mli: Ftss_sync Ftss_util Pid

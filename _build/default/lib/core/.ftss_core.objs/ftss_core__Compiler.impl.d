@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Canonical Ftss_sync Ftss_util List Pidset Rng Spec

@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Canonical Ftss_sync Ftss_util Pid Pidset Rng Spec

@@ -1,0 +1,1 @@
+lib/core/impossibility.ml: Array Canonical Compiler Ftss_sync Ftss_util Fun List Option Pid Pidset Round_agreement

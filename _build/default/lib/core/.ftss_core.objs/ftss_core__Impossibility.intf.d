@@ -1,0 +1,1 @@
+lib/core/impossibility.mli: Ftss_sync Ftss_util Pid

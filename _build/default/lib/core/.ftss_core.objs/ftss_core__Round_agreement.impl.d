@@ -1,0 +1,1 @@
+lib/core/round_agreement.ml: Ftss_sync Ftss_util List Rng Spec

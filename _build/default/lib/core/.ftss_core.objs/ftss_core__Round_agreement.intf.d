@@ -1,0 +1,1 @@
+lib/core/round_agreement.mli: Ftss_sync Ftss_util Pid Rng Spec

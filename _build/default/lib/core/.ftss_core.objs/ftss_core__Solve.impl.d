@@ -1,0 +1,1 @@
+lib/core/solve.ml: Ftss_history Ftss_sync Ftss_util List Spec

@@ -1,0 +1,1 @@
+lib/core/spec.ml: Array Ftss_sync Ftss_util Int List Pidset

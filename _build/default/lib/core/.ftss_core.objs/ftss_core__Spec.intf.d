@@ -1,0 +1,1 @@
+lib/core/spec.mli: Ftss_sync Ftss_util Pidset

@@ -1,0 +1,40 @@
+open Ftss_util
+module Protocol = Ftss_sync.Protocol
+
+type ('s, 'd) t = {
+  name : string;
+  final_round : int;
+  s_init : Pid.t -> 's;
+  transition : Pid.t -> 's -> 's Protocol.delivery list -> int -> 's;
+  decide : 's -> 'd option;
+}
+
+let check pi =
+  if pi.final_round < 1 then
+    invalid_arg (pi.name ^ ": canonical protocol needs final_round >= 1");
+  pi
+
+type 's ft_state = { s : 's; c : int; halted : bool }
+
+let to_protocol pi =
+  let pi = check pi in
+  {
+    Protocol.name = pi.name ^ "/ft";
+    init = (fun p -> { s = pi.s_init p; c = 1; halted = false });
+    broadcast = (fun _ st -> if st.halted then None else Some st.s);
+    step =
+      (fun p st deliveries ->
+        if st.halted then st
+        else
+          let states =
+            List.filter_map
+              (fun { Protocol.src; payload } ->
+                Option.map (fun s -> { Protocol.src; payload = s }) payload)
+              deliveries
+          in
+          let s = pi.transition p st.s states st.c in
+          let c = st.c + 1 in
+          { s; c; halted = st.c = pi.final_round })
+  }
+
+let ft_decision pi st = if st.halted then pi.decide st.s else None

@@ -1,0 +1,48 @@
+(** Canonical fault-tolerant full-information protocols Π (Figure 2).
+
+    The compiler (Figure 3 / {!Compiler}) consumes terminating round-based
+    protocols presented in the paper's canonical form: in each round every
+    process broadcasts its entire state, then applies a transition function
+    to the received states and its current protocol round number
+    k ∈ [1 .. final_round]; the protocol terminates (halts) after
+    [final_round] rounds, at which point a decision can be extracted.
+
+    Restrictions from §2.4 apply: the protocol must be full-information
+    (the broadcast {e is} the state — enforced by this type), must not
+    restrict the behaviour of faulty processes (Theorem 2), and round
+    numbers are counted by an unbounded variable (OCaml's native [int]
+    stands in; see DESIGN.md). *)
+
+open Ftss_util
+
+type ('s, 'd) t = {
+  name : string;
+  final_round : int;  (** duration of one iteration; >= 1 *)
+  s_init : Pid.t -> 's;  (** the "good" initial state s_{p,init} *)
+  transition : Pid.t -> 's -> 's Ftss_sync.Protocol.delivery list -> int -> 's;
+      (** [transition p s M k] — the paper's [function(p, s_p^r, M, c_p^r)]
+          where [M] is the set of received states and [k] the protocol
+          round in [1 .. final_round]. *)
+  decide : 's -> 'd option;
+      (** Decision extracted from the state after round [final_round]. *)
+}
+
+(** Validates structural requirements ([final_round >= 1]); raises
+    [Invalid_argument] otherwise. Returns its argument. *)
+val check : ('s, 'd) t -> ('s, 'd) t
+
+(** {2 Running Π on its own (the ft-only baseline)}
+
+    [to_protocol pi] is the Figure 2 protocol verbatim: state [{s; c}]
+    with c counting rounds from 1, halting (absorbing state, no further
+    broadcasts are made visible to [step]) after [final_round] rounds.
+    This is the process-failure-only baseline that Def. 2.1 speaks about:
+    it is {e not} self-stabilizing (terminating protocols cannot be;
+    [KP90]). *)
+
+type 's ft_state = { s : 's; c : int; halted : bool }
+
+val to_protocol : ('s, 'd) t -> ('s ft_state, 's option) Ftss_sync.Protocol.t
+
+(** [ft_decision pi state] is the decision of a halted run, if any. *)
+val ft_decision : ('s, 'd) t -> 's ft_state -> 'd option

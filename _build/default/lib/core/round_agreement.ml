@@ -1,0 +1,27 @@
+open Ftss_util
+module Protocol = Ftss_sync.Protocol
+
+type state = int
+type message = int
+
+let protocol =
+  {
+    Protocol.name = "round-agreement";
+    init = (fun _ -> 1);
+    broadcast = (fun _ c -> c);
+    step =
+      (fun _ _ deliveries ->
+        (* R always contains the process's own broadcast (footnote 1), so
+           the maximum is over a non-empty set. *)
+        let max_seen =
+          List.fold_left
+            (fun acc { Protocol.payload; _ } -> max acc payload)
+            min_int deliveries
+        in
+        max_seen + 1);
+  }
+
+let spec = Spec.assumption1 ~round_of:(fun c -> c)
+let stabilization_time = 1
+
+let corrupt_uniform rng ~bound _pid _c = Rng.int rng bound

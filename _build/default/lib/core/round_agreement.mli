@@ -1,0 +1,36 @@
+(** The round agreement protocol of Figure 1.
+
+    Each process broadcasts its current round number and adopts
+    [max(received) + 1] at the end of the round. Theorem 3: this protocol
+    ftss-solves round agreement with a stabilization time of one round —
+    once the coterie has been stable for one round, and for as long as it
+    stays stable, all correct processes agree on a common round number and
+    increment it by one per round (Assumption 1).
+
+    The process state is exactly the round variable c_p; a systemic failure
+    sets it to an arbitrary integer. *)
+
+open Ftss_util
+
+type state = int
+(** The round variable c_p. *)
+
+type message = int
+(** The (ROUND: p, c) broadcast; the sender pid is carried by the
+    delivery envelope. *)
+
+(** The Figure 1 protocol. [init] is the paper's "good" initial state
+    c_p = 1. *)
+val protocol : (state, message) Ftss_sync.Protocol.t
+
+(** The problem it solves: Assumption 1 (agreement + rate) over the round
+    variable. *)
+val spec : (state, message) Spec.t
+
+(** Theorem 3's claimed stabilization time. *)
+val stabilization_time : int
+
+(** [corrupt_uniform rng ~bound] draws an independent round variable in
+    [0, bound) for every process — the standard systemic-failure
+    corruption used in the experiments. *)
+val corrupt_uniform : Rng.t -> bound:int -> Pid.t -> state -> state

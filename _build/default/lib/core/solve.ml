@@ -1,0 +1,52 @@
+module Trace = Ftss_sync.Trace
+module Causality = Ftss_history.Causality
+
+let ft_solves (spec : ('s, 'm) Spec.t) trace =
+  spec.Spec.holds trace ~faulty:trace.Trace.declared_faulty
+
+let ss_solves (spec : ('s, 'm) Spec.t) ~stabilization trace =
+  if stabilization < 0 then invalid_arg "Solve.ss_solves: negative stabilization";
+  let len = Trace.length trace in
+  if len <= stabilization then true
+  else
+    let suffix = Trace.sub trace ~first:(stabilization + 1) ~last:len in
+    spec.Spec.holds suffix ~faulty:Ftss_util.Pidset.empty
+
+(* Σ is required on rounds [x + stabilization + 1 .. y] for each maximal
+   coterie-stable interval [x..y]; see the .mli for the bridge to the
+   paper's H1·H2·H3·H4 decomposition. *)
+let obligations ~stabilization trace =
+  let analysis = Causality.analyze trace in
+  List.filter_map
+    (fun (x, y) ->
+      let first = x + stabilization + 1 in
+      if first > y then None else Some (first, y))
+    (Causality.stable_intervals analysis)
+
+let ftss_solves (spec : ('s, 'm) Spec.t) ~stabilization trace =
+  if stabilization < 0 then invalid_arg "Solve.ftss_solves: negative stabilization";
+  List.for_all
+    (fun (first, last) ->
+      let sub = Trace.sub trace ~first ~last in
+      spec.Spec.holds sub ~faulty:trace.Trace.declared_faulty)
+    (obligations ~stabilization trace)
+
+let stable_windows trace =
+  Causality.stable_intervals (Causality.analyze trace)
+
+let measured_stabilization (spec : ('s, 'm) Spec.t) trace =
+  let faulty = trace.Trace.declared_faulty in
+  let intervals = stable_windows trace in
+  (* Per interval [x..y]: the least d with Σ on [x+d+1 .. y]; specs in this
+     repository are suffix-closed, so scan d upward. *)
+  let per_interval (x, y) =
+    let rec search d =
+      let first = x + d + 1 in
+      if first > y then y - x (* only the empty (vacuous) obligation holds *)
+      else
+        let sub = Trace.sub trace ~first ~last:y in
+        if spec.Spec.holds sub ~faulty then d else search (d + 1)
+    in
+    if x >= y then 0 else search 0
+  in
+  List.fold_left (fun worst interval -> max worst (per_interval interval)) 0 intervals

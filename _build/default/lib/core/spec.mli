@@ -1,0 +1,60 @@
+(** Problems as predicates on histories (paper §2.1).
+
+    A problem Σ is a predicate on a history H and a set F of processes
+    faulty in H. A spec value packages Σ together with a name for
+    reporting. Specs are evaluated on {!Ftss_sync.Trace.t} values — both
+    whole histories and the sub-histories that the solving definitions
+    (Defs. 2.1, 2.2, 2.4) quantify over. *)
+
+open Ftss_util
+
+type ('s, 'm) t = {
+  name : string;
+  holds : ('s, 'm) Ftss_sync.Trace.t -> faulty:Pidset.t -> bool;
+}
+
+(** [conj name specs] is satisfied when every conjunct is. *)
+val conj : string -> ('s, 'm) t list -> ('s, 'm) t
+
+(** [trivial] is satisfied by every history. *)
+val trivial : ('s, 'm) t
+
+(** {2 Assumption 1}
+
+    Round-based problems require the correct processes to agree on the
+    round number in every round, and to increment it by one at the end of
+    each round. [round_of] extracts the process's round variable c_p from
+    its state. *)
+
+(** Agreement: all correct processes have equal round variables at the
+    start of every round of the history. *)
+val round_agreement : round_of:('s -> int) -> ('s, 'm) t
+
+(** Rate: every correct process's round variable increases by exactly one
+    between consecutive rounds of the history. The transition out of the
+    final round is not constrained: a sub-history ending at a
+    destabilizing event may end with a legitimate reconciliation jump
+    (Theorem 3 claims agreement only for rounds inside the stable
+    window). *)
+val round_rate : round_of:('s -> int) -> ('s, 'm) t
+
+(** Both conditions of Assumption 1. *)
+val assumption1 : round_of:('s -> int) -> ('s, 'm) t
+
+(** {2 Assumption 2}
+
+    Uniformity (for the class of problems that restrict faulty processes,
+    §2.2): every faulty process has either halted or agrees with the
+    correct processes on the round number. [halted] recognizes a halted
+    state. Theorem 2 shows no protocol ftss-solves a problem with this
+    requirement; the spec exists so the theorem can be exercised. *)
+val uniformity : round_of:('s -> int) -> halted:('s -> bool) -> ('s, 'm) t
+
+(** {2 Generic helpers} *)
+
+(** [pointwise name check] holds iff [check ~faulty record] holds for every
+    round record of the history. *)
+val pointwise :
+  string ->
+  (faulty:Pidset.t -> ('s, 'm) Ftss_sync.Trace.round_record -> bool) ->
+  ('s, 'm) t

@@ -1,0 +1,1 @@
+lib/history/causality.ml: Array Ftss_sync Ftss_util List Pidset Printf

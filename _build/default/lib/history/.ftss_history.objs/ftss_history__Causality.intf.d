@@ -1,0 +1,1 @@
+lib/history/causality.mli: Ftss_sync Ftss_util Pid Pidset

@@ -1,0 +1,93 @@
+open Ftss_util
+
+type t = {
+  length : int;
+  n : int;
+  correct : Pidset.t;
+  know : Pidset.t array array; (* know.(r).(p) = K_r(p), r in 0..length *)
+  coteries : Pidset.t array; (* coteries.(r), r in 0..length *)
+}
+
+let coterie_of_knowledge ~n ~correct know_r =
+  (* Intersection of K_r(q) over correct q; the full set when no process is
+     correct (vacuous universal quantification). *)
+  if Pidset.is_empty correct then Pidset.full n
+  else
+    Pidset.fold
+      (fun q acc -> Pidset.inter acc know_r.(q))
+      correct
+      (Pidset.full n)
+
+let analyze (trace : ('s, 'm) Ftss_sync.Trace.t) =
+  let n = trace.Ftss_sync.Trace.n in
+  let len = Ftss_sync.Trace.length trace in
+  let know = Array.init (len + 1) (fun _ -> Array.make n Pidset.empty) in
+  Array.iteri (fun p _ -> know.(0).(p) <- Pidset.singleton p) know.(0);
+  for round = 1 to len do
+    let record = Ftss_sync.Trace.record trace ~round in
+    for p = 0 to n - 1 do
+      let base = know.(round - 1).(p) in
+      let merged =
+        List.fold_left
+          (fun acc { Ftss_sync.Protocol.src; _ } ->
+            Pidset.add src (Pidset.union acc know.(round - 1).(src)))
+          base record.Ftss_sync.Trace.delivered.(p)
+      in
+      know.(round).(p) <- merged
+    done
+  done;
+  let correct = Ftss_sync.Trace.correct trace in
+  let coteries =
+    Array.init (len + 1) (fun r -> coterie_of_knowledge ~n ~correct know.(r))
+  in
+  { length = len; n; correct; know; coteries }
+
+let length t = t.length
+let correct t = t.correct
+
+let check_round t round =
+  if round < 0 || round > t.length then
+    invalid_arg (Printf.sprintf "Causality: round %d outside 0..%d" round t.length)
+
+let knows t ~round p =
+  check_round t round;
+  t.know.(round).(p)
+
+let happened_before t ~upto p q = Pidset.mem p (knows t ~round:upto q)
+
+let coterie t ~round =
+  check_round t round;
+  t.coteries.(round)
+
+let entry_round t p =
+  let rec find r =
+    if r > t.length then None
+    else if Pidset.mem p t.coteries.(r) then Some r
+    else find (r + 1)
+  in
+  find 0
+
+let changes t =
+  let rec collect r acc =
+    if r > t.length then List.rev acc
+    else
+      let grew = Pidset.diff t.coteries.(r) t.coteries.(r - 1) in
+      let acc = if Pidset.is_empty grew then acc else (r, grew) :: acc in
+      collect (r + 1) acc
+  in
+  collect 1 []
+
+let stable_intervals t =
+  let rec walk start r acc =
+    if r > t.length then List.rev ((start, t.length) :: acc)
+    else if Pidset.equal t.coteries.(r) t.coteries.(start) then walk start (r + 1) acc
+    else walk r (r + 1) ((start, r - 1) :: acc)
+  in
+  walk 0 1 []
+
+let monotone t =
+  let rec check r =
+    if r > t.length then true
+    else Pidset.subset t.coteries.(r - 1) t.coteries.(r) && check (r + 1)
+  in
+  check 1

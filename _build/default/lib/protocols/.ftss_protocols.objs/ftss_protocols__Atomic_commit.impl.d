@@ -1,0 +1,1 @@
+lib/protocols/atomic_commit.ml: Ftss_core Ftss_sync Ftss_util List Pid Pidmap Pidset

@@ -1,0 +1,1 @@
+lib/protocols/atomic_commit.mli: Ftss_core Ftss_util Pid Pidmap Pidset

@@ -1,0 +1,1 @@
+lib/protocols/flooding_consensus.ml: Ftss_core Ftss_sync List Values

@@ -1,0 +1,1 @@
+lib/protocols/flooding_consensus.mli: Ftss_core Ftss_sync Ftss_util Pid Values

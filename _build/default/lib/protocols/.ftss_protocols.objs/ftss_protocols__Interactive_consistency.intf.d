@@ -1,0 +1,1 @@
+lib/protocols/interactive_consistency.mli: Ftss_core Ftss_util Pid Pidmap Pidset

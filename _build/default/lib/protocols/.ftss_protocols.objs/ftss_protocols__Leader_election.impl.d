@@ -1,0 +1,1 @@
+lib/protocols/leader_election.ml: Ftss_core Ftss_sync Ftss_util List Pidset

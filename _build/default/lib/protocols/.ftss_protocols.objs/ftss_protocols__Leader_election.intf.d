@@ -1,0 +1,1 @@
+lib/protocols/leader_election.mli: Ftss_core Ftss_util Pid Pidset

@@ -1,0 +1,1 @@
+lib/protocols/omission_consensus.ml: Ftss_core Ftss_sync Ftss_util Fun List Pidset Rng Values

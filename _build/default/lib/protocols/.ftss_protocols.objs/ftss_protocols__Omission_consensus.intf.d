@@ -1,0 +1,1 @@
+lib/protocols/omission_consensus.mli: Ftss_core Ftss_util Pid Pidset Rng Values

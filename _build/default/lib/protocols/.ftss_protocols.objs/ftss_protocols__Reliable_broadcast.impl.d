@@ -1,0 +1,1 @@
+lib/protocols/reliable_broadcast.ml: Ftss_core Ftss_sync Ftss_util List Pid Pidset

@@ -1,0 +1,1 @@
+lib/protocols/reliable_broadcast.mli: Ftss_core Ftss_util Pid Pidset

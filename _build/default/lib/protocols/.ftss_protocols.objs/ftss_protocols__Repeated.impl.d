@@ -1,0 +1,1 @@
+lib/protocols/repeated.ml: Array Ftss_core Ftss_sync Ftss_util List Pid Pidset

@@ -1,0 +1,1 @@
+lib/protocols/repeated.mli: Ftss_core Ftss_sync Ftss_util Pid Pidset

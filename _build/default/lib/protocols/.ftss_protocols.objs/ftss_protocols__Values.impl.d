@@ -1,0 +1,1 @@
+lib/protocols/values.ml: Format Int Set

@@ -1,0 +1,1 @@
+lib/protocols/values.mli: Format Set

@@ -1,0 +1,44 @@
+open Ftss_util
+module Protocol = Ftss_sync.Protocol
+
+type vote = Yes | No
+type outcome = Commit | Abort
+
+type state = { votes : vote Pidmap.t; distrusted : Pidset.t }
+
+let make ~n ~f ~vote =
+  if f < 0 then invalid_arg "Atomic_commit.make: negative f";
+  let everyone = Pidset.full n in
+  {
+    Ftss_core.Canonical.name = "atomic-commit";
+    final_round = f + 2;
+    s_init = (fun p -> { votes = Pidmap.singleton p (vote p); distrusted = Pidset.empty });
+    transition =
+      (fun _ s deliveries _k ->
+        let senders =
+          List.fold_left
+            (fun acc { Protocol.src; _ } -> Pidset.add src acc)
+            Pidset.empty deliveries
+        in
+        let distrusted = Pidset.union s.distrusted (Pidset.diff everyone senders) in
+        let votes =
+          List.fold_left
+            (fun acc { Protocol.src; payload } ->
+              if Pidset.mem src distrusted then acc
+              else
+                (* In the omission model votes cannot conflict; after a
+                   systemic failure they can — No wins, keeping the merge
+                   deterministic and conservative. *)
+                Pidmap.union
+                  (fun _ a b -> if a = No || b = No then Some No else Some Yes)
+                  acc payload.votes)
+            s.votes deliveries
+        in
+        { votes; distrusted });
+    decide =
+      (fun s ->
+        let all_yes =
+          List.for_all (fun p -> Pidmap.find_opt p s.votes = Some Yes) (Pid.all n)
+        in
+        Some (if all_yes then Commit else Abort));
+  }

@@ -1,0 +1,40 @@
+open Ftss_util
+module Protocol = Ftss_sync.Protocol
+
+type state = { vector : int Pidmap.t; distrusted : Pidset.t }
+type decision = int option list
+
+let merge_vectors mine theirs =
+  (* Entries are keyed by their originator; in the omission model two
+     non-corrupted vectors can only disagree on presence, never on value.
+     After a systemic failure they can conflict; keep the smaller value so
+     the merge stays deterministic and commutative. *)
+  Pidmap.union (fun _ a b -> Some (min a b)) mine theirs
+
+let make ~n ~f ~propose =
+  if f < 0 then invalid_arg "Interactive_consistency.make: negative f";
+  let everyone = Pidset.full n in
+  {
+    Ftss_core.Canonical.name = "interactive-consistency";
+    final_round = f + 2;
+    s_init =
+      (fun p -> { vector = Pidmap.singleton p (propose p); distrusted = Pidset.empty });
+    transition =
+      (fun _ s deliveries _k ->
+        let senders =
+          List.fold_left
+            (fun acc { Protocol.src; _ } -> Pidset.add src acc)
+            Pidset.empty deliveries
+        in
+        let distrusted = Pidset.union s.distrusted (Pidset.diff everyone senders) in
+        let vector =
+          List.fold_left
+            (fun acc { Protocol.src; payload } ->
+              if Pidset.mem src distrusted then acc
+              else merge_vectors acc payload.vector)
+            s.vector deliveries
+        in
+        { vector; distrusted });
+    decide =
+      (fun s -> Some (List.map (fun p -> Pidmap.find_opt p s.vector) (Pid.all n)));
+  }

@@ -1,0 +1,23 @@
+(** Interactive consistency (vector agreement) in canonical form, with the
+    general-omission suspect filter.
+
+    Every process tries to learn the initial value of every other process;
+    after f+2 rounds the correct processes agree on a common vector,
+    entries of unreachable (faulty) processes being [None]. Agreement on
+    every entry follows from the same distinct-faulty-relay-chain argument
+    as {!Omission_consensus}; the per-entry value is the one originated by
+    the entry's owner (there is no forging in the omission model, and
+    systemically corrupted vectors are discarded at iteration reset). *)
+
+open Ftss_util
+
+type state = {
+  vector : int Pidmap.t;  (** entries learned so far: owner -> value *)
+  distrusted : Pidset.t;
+}
+
+type decision = int option list
+(** The agreed vector, index = pid; [None] for unlearned entries. *)
+
+val make :
+  n:int -> f:int -> propose:(Pid.t -> int) -> (state, decision) Ftss_core.Canonical.t

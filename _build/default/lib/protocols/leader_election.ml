@@ -1,0 +1,30 @@
+open Ftss_util
+module Protocol = Ftss_sync.Protocol
+
+type state = { participants : Pidset.t; distrusted : Pidset.t }
+
+let make ~n ~f =
+  if f < 0 then invalid_arg "Leader_election.make: negative f";
+  let everyone = Pidset.full n in
+  {
+    Ftss_core.Canonical.name = "leader-election";
+    final_round = f + 2;
+    s_init = (fun p -> { participants = Pidset.singleton p; distrusted = Pidset.empty });
+    transition =
+      (fun _ s deliveries _k ->
+        let senders =
+          List.fold_left
+            (fun acc { Protocol.src; _ } -> Pidset.add src acc)
+            Pidset.empty deliveries
+        in
+        let distrusted = Pidset.union s.distrusted (Pidset.diff everyone senders) in
+        let participants =
+          List.fold_left
+            (fun acc { Protocol.src; payload } ->
+              if Pidset.mem src distrusted then acc
+              else Pidset.union acc payload.participants)
+            s.participants deliveries
+        in
+        { participants; distrusted });
+    decide = (fun s -> Pidset.min_elt_opt s.participants);
+  }

@@ -1,0 +1,17 @@
+(** Leader election in canonical form: after f+2 suspect-filtered rounds,
+    all correct processes elect the minimum pid among the processes whose
+    participation they (commonly) witnessed. Agreement on the elected
+    leader follows from agreement on the witnessed set, by the same chain
+    argument as {!Omission_consensus}; the elected leader is always a
+    process of the system, though it may be a faulty one (a faulty process
+    that participated consistently enough to be witnessed by everyone is
+    electable — the classic caveat). *)
+
+open Ftss_util
+
+type state = {
+  participants : Pidset.t;  (** processes witnessed so far *)
+  distrusted : Pidset.t;
+}
+
+val make : n:int -> f:int -> (state, Pid.t) Ftss_core.Canonical.t

@@ -1,0 +1,40 @@
+open Ftss_util
+module Protocol = Ftss_sync.Protocol
+
+type state = { relayed : int option; distrusted : Pidset.t }
+
+let make ~n ~f ~sender ~value =
+  if not (Pid.is_valid ~n sender) then
+    invalid_arg "Reliable_broadcast.make: sender out of range";
+  if f < 0 then invalid_arg "Reliable_broadcast.make: negative f";
+  let everyone = Pidset.full n in
+  {
+    Ftss_core.Canonical.name = "reliable-broadcast";
+    final_round = f + 2;
+    s_init =
+      (fun p ->
+        {
+          relayed = (if Pid.equal p sender then Some value else None);
+          distrusted = Pidset.empty;
+        });
+    transition =
+      (fun _ s deliveries _k ->
+        let senders =
+          List.fold_left
+            (fun acc { Protocol.src; _ } -> Pidset.add src acc)
+            Pidset.empty deliveries
+        in
+        let distrusted = Pidset.union s.distrusted (Pidset.diff everyone senders) in
+        let relayed =
+          List.fold_left
+            (fun acc { Protocol.src; payload } ->
+              if Pidset.mem src distrusted then acc
+              else
+                match (acc, payload.relayed) with
+                | Some v, _ -> Some v
+                | None, learned -> learned)
+            s.relayed deliveries
+        in
+        { relayed; distrusted });
+    decide = (fun s -> Some s.relayed);
+  }

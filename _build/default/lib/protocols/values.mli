@@ -1,0 +1,6 @@
+(** Sets of proposal values (integers) exchanged by the consensus
+    protocols. *)
+
+include Set.S with type elt = int
+
+val pp : Format.formatter -> t -> unit

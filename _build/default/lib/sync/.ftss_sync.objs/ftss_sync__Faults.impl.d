@@ -1,0 +1,1 @@
+lib/sync/faults.ml: Array Format Ftss_util Hashtbl List Pid Pidset Rng

@@ -1,0 +1,1 @@
+lib/sync/faults.mli: Format Ftss_util Pid Pidset Rng

@@ -1,0 +1,1 @@
+lib/sync/protocol.ml: Ftss_util Pid

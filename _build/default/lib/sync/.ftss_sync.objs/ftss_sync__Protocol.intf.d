@@ -1,0 +1,1 @@
+lib/sync/protocol.mli: Ftss_util Pid

@@ -1,0 +1,1 @@
+lib/sync/runner.ml: Array Faults Ftss_util List Pid Protocol Trace

@@ -1,0 +1,1 @@
+lib/sync/runner.mli: Faults Ftss_util Pid Protocol Trace

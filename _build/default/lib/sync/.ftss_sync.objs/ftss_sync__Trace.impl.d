@@ -1,0 +1,1 @@
+lib/sync/trace.ml: Array Format Ftss_util List Option Pid Pidset Printf Protocol

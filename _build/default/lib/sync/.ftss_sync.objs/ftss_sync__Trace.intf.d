@@ -1,0 +1,1 @@
+lib/sync/trace.mli: Format Ftss_util Pid Pidset Protocol

@@ -1,0 +1,133 @@
+open Ftss_util
+
+type event =
+  | Crash of { pid : Pid.t; round : int }
+  | Drop of { src : Pid.t; dst : Pid.t; round : int }
+  | Mute of { pid : Pid.t; first : int; last : int }
+  | Deaf of { pid : Pid.t; first : int; last : int }
+  | Isolate of { pid : Pid.t; first : int; last : int }
+
+type t = {
+  n : int;
+  faulty : Pidset.t;
+  crash : int option array; (* pid -> crash round *)
+  point_drops : (int * Pid.t * Pid.t, unit) Hashtbl.t;
+  mute : (int * int) list array; (* pid -> send-omission intervals *)
+  deaf : (int * int) list array; (* pid -> receive-omission intervals *)
+}
+
+let n t = t.n
+let faulty t = t.faulty
+let f t = Pidset.cardinal t.faulty
+let correct t = Pidset.diff (Pidset.full t.n) t.faulty
+let crash_round t p = t.crash.(p)
+
+let in_interval round (first, last) = first <= round && round <= last
+
+let drops t ~round ~src ~dst =
+  if Pid.equal src dst then false
+  else
+    Hashtbl.mem t.point_drops (round, src, dst)
+    || List.exists (in_interval round) t.mute.(src)
+    || List.exists (in_interval round) t.deaf.(dst)
+
+let none n =
+  {
+    n;
+    faulty = Pidset.empty;
+    crash = Array.make n None;
+    point_drops = Hashtbl.create 1;
+    mute = Array.make n [];
+    deaf = Array.make n [];
+  }
+
+let check_pid ~n p =
+  if not (Pid.is_valid ~n p) then
+    invalid_arg (Format.asprintf "Faults: pid %a out of range for n=%d" Pid.pp p n)
+
+let check_range first last =
+  if first < 1 || last < first then invalid_arg "Faults: bad round interval"
+
+let of_events ~n events =
+  let t = none n in
+  let faulty = ref Pidset.empty in
+  let mark p = faulty := Pidset.add p !faulty in
+  let absorb = function
+    | Crash { pid; round } ->
+      check_pid ~n pid;
+      check_range round round;
+      mark pid;
+      let sooner =
+        match t.crash.(pid) with None -> round | Some r -> min r round
+      in
+      t.crash.(pid) <- Some sooner
+    | Drop { src; dst; round } ->
+      check_pid ~n src;
+      check_pid ~n dst;
+      check_range round round;
+      if Pid.equal src dst then invalid_arg "Faults: cannot drop a self-message";
+      (* The culprit is ambiguous between a send and a receive omission; we
+         conservatively declare both endpoints faulty only when neither is
+         already declared, preferring the sender. *)
+      if not (Pidset.mem src !faulty || Pidset.mem dst !faulty) then mark src;
+      Hashtbl.replace t.point_drops (round, src, dst) ()
+    | Mute { pid; first; last } ->
+      check_pid ~n pid;
+      check_range first last;
+      mark pid;
+      t.mute.(pid) <- (first, last) :: t.mute.(pid)
+    | Deaf { pid; first; last } ->
+      check_pid ~n pid;
+      check_range first last;
+      mark pid;
+      t.deaf.(pid) <- (first, last) :: t.deaf.(pid)
+    | Isolate { pid; first; last } ->
+      check_pid ~n pid;
+      check_range first last;
+      mark pid;
+      t.mute.(pid) <- (first, last) :: t.mute.(pid);
+      t.deaf.(pid) <- (first, last) :: t.deaf.(pid)
+  in
+  List.iter absorb events;
+  { t with faulty = !faulty }
+
+let random_omission rng ~n ~f ~p_drop ~rounds =
+  if f < 0 || f > n then invalid_arg "Faults.random_omission: f out of range";
+  let chosen = Rng.sample rng f (Pid.all n) in
+  let faulty = Pidset.of_list chosen in
+  let t = { (none n) with faulty } in
+  for round = 1 to rounds do
+    List.iter
+      (fun src ->
+        List.iter
+          (fun dst ->
+            if
+              (not (Pid.equal src dst))
+              && (Pidset.mem src faulty || Pidset.mem dst faulty)
+              && Rng.chance rng p_drop
+            then Hashtbl.replace t.point_drops (round, src, dst) ())
+          (Pid.all n))
+      (Pid.all n)
+  done;
+  t
+
+let random_crashes rng ~n ~f ~rounds =
+  if f < 0 || f > n then invalid_arg "Faults.random_crashes: f out of range";
+  let chosen = Rng.sample rng f (Pid.all n) in
+  let events = List.map (fun pid -> Crash { pid; round = Rng.int_in rng 1 (max 1 rounds) }) chosen in
+  of_events ~n events
+
+let rolling_mute ~n ~victim ~period ~rounds =
+  if period < 1 then invalid_arg "Faults.rolling_mute: period < 1";
+  let rec windows start acc =
+    if start > rounds then acc
+    else
+      let last = min rounds (start + period - 1) in
+      windows (start + (2 * period)) (Mute { pid = victim; first = start; last } :: acc)
+  in
+  of_events ~n (windows 1 [])
+
+let consistent t ~observed = Pidset.subset observed t.faulty
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>faults: n=%d f=%d faulty=%a@]" t.n (f t) Pidset.pp t.faulty

@@ -1,0 +1,78 @@
+(** Process-failure schedules for the synchronous simulator.
+
+    The paper (§2) admits process failures of the {e general omission} type:
+    crashes, send omissions and receive omissions. A schedule fixes, ahead of
+    the execution, which failures the adversary injects in which round. The
+    schedule also declares the set of faulty processes; {!Runner} records
+    every injected failure in the trace so the declaration can be audited
+    against what actually happened (see {!val:consistent}). *)
+
+open Ftss_util
+
+(** A single adversarial event. Rounds are 1-based actual round numbers. *)
+type event =
+  | Crash of { pid : Pid.t; round : int }
+      (** [pid] takes no action in [round] or any later round. *)
+  | Drop of { src : Pid.t; dst : Pid.t; round : int }
+      (** The message [src -> dst] of [round] is omitted. *)
+  | Mute of { pid : Pid.t; first : int; last : int }
+      (** All messages sent by [pid] to other processes in rounds
+          [first..last] are omitted (send omission). *)
+  | Deaf of { pid : Pid.t; first : int; last : int }
+      (** All messages addressed to [pid] from other processes in rounds
+          [first..last] are omitted (receive omission). *)
+  | Isolate of { pid : Pid.t; first : int; last : int }
+      (** [Mute] and [Deaf] combined: general omission. *)
+
+type t
+
+(** System size. *)
+val n : t -> int
+
+(** Declared upper bound [f] on the number of faulty processes. *)
+val f : t -> int
+
+(** Declared faulty set (every process touched by an event). *)
+val faulty : t -> Pidset.t
+
+(** Declared correct set: all pids not in [faulty]. *)
+val correct : t -> Pidset.t
+
+(** [crash_round t p] is the round in which [p] crashes, if any. *)
+val crash_round : t -> Pid.t -> int option
+
+(** [drops t ~round ~src ~dst] is true iff the adversary omits the
+    [src -> dst] message of [round]. Self-messages are never dropped
+    (paper footnote 1). *)
+val drops : t -> round:int -> src:Pid.t -> dst:Pid.t -> bool
+
+(** [none n] is the failure-free schedule. *)
+val none : int -> t
+
+(** [of_events ~n events] compiles an event list. Raises [Invalid_argument]
+    on pids outside [0..n-1] or empty/negative round ranges. *)
+val of_events : n:int -> event list -> t
+
+(** [random_omission rng ~n ~f ~p_drop ~rounds] draws [f] distinct faulty
+    processes and, independently for each round and each directed link with
+    a faulty endpoint, omits the message with probability [p_drop].
+    Links between two correct processes are always reliable. *)
+val random_omission : Rng.t -> n:int -> f:int -> p_drop:float -> rounds:int -> t
+
+(** [random_crashes rng ~n ~f ~rounds] draws [f] distinct processes and
+    crashes each at a uniformly random round in [1..rounds]. *)
+val random_crashes : Rng.t -> n:int -> f:int -> rounds:int -> t
+
+(** [rolling_mute ~n ~victim ~period ~rounds] mutes [victim] on an
+    on/off cadence: silent for [period] rounds, talking for [period]
+    rounds, repeating until [rounds]. Every reveal is a destabilizing
+    event (the victim re-enters the coterie), so a history under this
+    schedule alternates coterie-stable windows with destabilizations —
+    the repeated-piece-wise-stability stress. *)
+val rolling_mute : n:int -> victim:Pid.t -> period:int -> rounds:int -> t
+
+(** [consistent t ~observed] checks that a set of processes observed to
+    misbehave in a trace is covered by the declared faulty set. *)
+val consistent : t -> observed:Pidset.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,80 @@
+open Ftss_util
+
+let run ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protocol.t) =
+  if rounds < 1 then invalid_arg "Runner.run: rounds < 1";
+  let n = Faults.n faults in
+  let initial p =
+    let s = protocol.init p in
+    match corrupt with None -> s | Some c -> c p s
+  in
+  let states = Array.init n (fun p -> Some (initial p)) in
+  let crashed_at = Array.make n None in
+  let omissions = ref [] in
+  let records = ref [] in
+  for round = 1 to rounds do
+    (* Crashes scheduled for this round take effect before the broadcast. *)
+    Array.iteri
+      (fun p st ->
+        match (st, Faults.crash_round faults p) with
+        | Some _, Some cr when cr <= round ->
+          states.(p) <- None;
+          crashed_at.(p) <- Some cr
+        | _ -> ())
+      (Array.copy states);
+    (* Mid-execution systemic failure, if scheduled. *)
+    List.iter
+      (fun (r, c) ->
+        if r = round then
+          Array.iteri
+            (fun p st ->
+              match st with Some s -> states.(p) <- Some (c p s) | None -> ())
+            (Array.copy states))
+      corrupt_at;
+    let states_before = Array.copy states in
+    let sent =
+      Array.init n (fun p ->
+          match states.(p) with
+          | None -> None
+          | Some s -> Some (protocol.broadcast p s))
+    in
+    let delivered =
+      Array.init n (fun dst ->
+          if states.(dst) = None then []
+          else
+            List.filter_map
+              (fun src ->
+                match sent.(src) with
+                | None -> None
+                | Some payload ->
+                  if Pid.equal src dst then Some { Protocol.src; payload }
+                  else if Faults.drops faults ~round ~src ~dst then begin
+                    omissions := (round, src, dst) :: !omissions;
+                    None
+                  end
+                  else Some { Protocol.src; payload })
+              (Pid.all n))
+    in
+    Array.iteri
+      (fun p st ->
+        match st with
+        | None -> ()
+        | Some s -> states.(p) <- Some (protocol.step p s delivered.(p)))
+      (Array.copy states);
+    records :=
+      {
+        Trace.round;
+        states_before;
+        sent;
+        delivered;
+        states_after = Array.copy states;
+      }
+      :: !records
+  done;
+  {
+    Trace.n;
+    protocol_name = protocol.name;
+    records = Array.of_list (List.rev !records);
+    crashed_at;
+    omissions = List.rev !omissions;
+    declared_faulty = Faults.faulty faults;
+  }

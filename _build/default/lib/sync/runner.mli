@@ -1,0 +1,32 @@
+(** Lockstep executor for the perfectly synchronous model.
+
+    Executes a {!Protocol.t} for a fixed number of rounds under a
+    {!Faults.t} schedule, optionally commencing from a systemically-corrupted
+    state, and records the full history as a {!Trace.t}.
+
+    Systemic failures: the paper models a systemic failure as execution
+    commencing in an arbitrary global state (§2.1). [corrupt] rewrites each
+    process's protocol-specified initial state into the adversarially chosen
+    one. [corrupt_at] additionally rewrites states at the start of later
+    rounds, which models a mid-execution systemic failure — the suffix from
+    such a round is itself a history commencing in an arbitrary state. *)
+
+open Ftss_util
+
+val run :
+  ?corrupt:(Pid.t -> 's -> 's) ->
+  ?corrupt_at:(int * (Pid.t -> 's -> 's)) list ->
+  faults:Faults.t ->
+  rounds:int ->
+  ('s, 'm) Protocol.t ->
+  ('s, 'm) Trace.t
+(** [run ?corrupt ?corrupt_at ~faults ~rounds protocol] executes [rounds]
+    rounds. Semantics, per round [r] (1-based):
+    - processes whose crash round is [<= r] take no action;
+    - every live process broadcasts [protocol.broadcast];
+    - the message from [src] to [dst] is delivered unless the schedule
+      drops it; self-messages are always delivered (paper footnote 1);
+    - every live process applies [protocol.step] to its deliveries,
+      ordered by sender pid.
+
+    Raises [Invalid_argument] if [rounds < 1]. *)

@@ -1,0 +1,98 @@
+open Ftss_util
+
+type ('s, 'm) round_record = {
+  round : int;
+  states_before : 's option array;
+  sent : 'm option array;
+  delivered : 'm Protocol.delivery list array;
+  states_after : 's option array;
+}
+
+type ('s, 'm) t = {
+  n : int;
+  protocol_name : string;
+  records : ('s, 'm) round_record array;
+  crashed_at : int option array;
+  omissions : (int * Pid.t * Pid.t) list;
+  declared_faulty : Pidset.t;
+}
+
+let length t = Array.length t.records
+
+let check_round t round =
+  if round < 1 || round > length t then
+    invalid_arg (Printf.sprintf "Trace: round %d outside 1..%d" round (length t))
+
+let record t ~round =
+  check_round t round;
+  t.records.(round - 1)
+
+let state_before t ~round p = (record t ~round).states_before.(p)
+let state_after t ~round p = (record t ~round).states_after.(p)
+
+let correct t = Pidset.diff (Pidset.full t.n) t.declared_faulty
+
+let crashed t = Pidset.of_pred t.n (fun p -> Option.is_some t.crashed_at.(p))
+
+let blames_declared t =
+  Pidset.subset (crashed t) t.declared_faulty
+  && List.for_all
+       (fun (_, src, dst) ->
+         Pidset.mem src t.declared_faulty || Pidset.mem dst t.declared_faulty)
+       t.omissions
+
+let alive t ~round p =
+  match t.crashed_at.(p) with None -> true | Some r -> round < r
+
+let sub t ~first ~last =
+  check_round t first;
+  check_round t last;
+  if first > last then invalid_arg "Trace.sub: empty interval";
+  let records =
+    Array.init
+      (last - first + 1)
+      (fun i ->
+        let r = t.records.(first - 1 + i) in
+        { r with round = i + 1 })
+  in
+  let crashed_at =
+    Array.map
+      (fun cr ->
+        match cr with
+        | None -> None
+        | Some r when r > last -> None
+        | Some r -> Some (max 1 (r - first + 1)))
+      t.crashed_at
+  in
+  let omissions =
+    List.filter_map
+      (fun (r, src, dst) ->
+        if first <= r && r <= last then Some (r - first + 1, src, dst) else None)
+      t.omissions
+  in
+  { t with records; crashed_at; omissions }
+
+let pp_summary ppf t =
+  Format.fprintf ppf "%s: n=%d rounds=%d faulty=%a omissions=%d" t.protocol_name
+    t.n (length t) Pidset.pp t.declared_faulty
+    (List.length t.omissions)
+
+let pp_rounds pp_state ppf t =
+  let pp_process record ppf p =
+    match record.states_before.(p) with
+    | None -> Format.fprintf ppf "%a:!" Pid.pp p
+    | Some s ->
+      let senders =
+        List.map (fun { Protocol.src; _ } -> src) record.delivered.(p)
+      in
+      Format.fprintf ppf "%a:%a<-%a" Pid.pp p pp_state s Pidset.pp
+        (Pidset.of_list senders)
+  in
+  let pp_round record =
+    Format.fprintf ppf "@[<h>r%-3d " record.round;
+    List.iter
+      (fun p -> Format.fprintf ppf "%a  " (pp_process record) p)
+      (Pid.all t.n);
+    Format.fprintf ppf "@]@\n"
+  in
+  Array.iter pp_round t.records

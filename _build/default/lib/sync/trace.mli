@@ -1,0 +1,80 @@
+(** Recorded execution histories (the paper's H, §2.1).
+
+    A trace is the sequence of round histories of one execution: for every
+    round, each process's state at the start of the round, the message it
+    broadcast, the messages actually delivered to it, and its state at the
+    end of the round. All of the paper's definitions (consistency,
+    coteries, the ftss-solves predicate) are evaluated against traces. *)
+
+open Ftss_util
+
+type ('s, 'm) round_record = {
+  round : int;  (** actual (external-observer) round number, 1-based *)
+  states_before : 's option array;
+      (** state of each process at the start of the round; [None] once the
+          process has crashed *)
+  sent : 'm option array;  (** broadcast of each process, [None] if crashed *)
+  delivered : 'm Protocol.delivery list array;
+      (** messages delivered to each process, ordered by sender pid *)
+  states_after : 's option array;
+      (** state at the end of the round (after the transition) *)
+}
+
+type ('s, 'm) t = {
+  n : int;
+  protocol_name : string;
+  records : ('s, 'm) round_record array;  (** index [r-1] holds round [r] *)
+  crashed_at : int option array;  (** pid -> crash round *)
+  omissions : (int * Pid.t * Pid.t) list;
+      (** observed dropped messages (round, src, dst), earliest first *)
+  declared_faulty : Pidset.t;
+      (** the schedule's declared faulty set F (paper's bound f applies to
+          this set) *)
+}
+
+(** Number of recorded rounds [|H|]. *)
+val length : ('s, 'm) t -> int
+
+(** [state_before t ~round p] is the paper's [s_p^round] (with the round
+    variable included in ['s]); [None] if crashed. Raises
+    [Invalid_argument] if [round] is outside [1..length t]. *)
+val state_before : ('s, 'm) t -> round:int -> Pid.t -> 's option
+
+(** [state_after t ~round p] is the state at the end of [round]. *)
+val state_after : ('s, 'm) t -> round:int -> Pid.t -> 's option
+
+(** [record t ~round] is the full round history of [round]. *)
+val record : ('s, 'm) t -> round:int -> ('s, 'm) round_record
+
+(** The declared correct set C(H, Π). *)
+val correct : ('s, 'm) t -> Pidset.t
+
+(** Processes observed to have crashed. *)
+val crashed : ('s, 'm) t -> Pidset.t
+
+(** [blames_declared t] audits the declared faulty set against the
+    recorded failures: every crashed process must be declared faulty, and
+    every omission must have at least one declared-faulty endpoint (which
+    endpoint actually misbehaved — send or receive omission — is
+    inherently unobservable from the history alone). True for every trace
+    produced by {!Runner.run} under a well-formed schedule. *)
+val blames_declared : ('s, 'm) t -> bool
+
+(** [alive t ~round p] is true iff [p] has not crashed before or in
+    [round]. *)
+val alive : ('s, 'm) t -> round:int -> Pid.t -> bool
+
+(** [sub t ~first ~last] is the sub-history of rounds [first..last]
+    (both inclusive), renumbered from 1 — the paper's prefix/suffix
+    construction. Raises [Invalid_argument] on an empty or out-of-range
+    interval. *)
+val sub : ('s, 'm) t -> first:int -> last:int -> ('s, 'm) t
+
+(** [pp_summary] prints a one-line summary (rounds, n, faults). *)
+val pp_summary : Format.formatter -> ('s, 'm) t -> unit
+
+(** [pp_rounds pp_state ppf t] dumps the full history, one line per
+    round: each process's start-of-round state ([!] marks crashed) and
+    the senders it heard from. The debugging view of a trace. *)
+val pp_rounds :
+  (Format.formatter -> 's -> unit) -> Format.formatter -> ('s, 'm) t -> unit

@@ -1,0 +1,1 @@
+lib/util/pid.ml: Format Int List

@@ -1,0 +1,1 @@
+lib/util/pid.mli: Format

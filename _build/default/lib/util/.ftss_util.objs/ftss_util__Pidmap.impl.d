@@ -1,0 +1,1 @@
+lib/util/pidmap.ml: Format List Map Pid

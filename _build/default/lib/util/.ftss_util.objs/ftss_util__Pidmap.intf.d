@@ -1,0 +1,1 @@
+lib/util/pidmap.mli: Format Map Pid

@@ -1,0 +1,1 @@
+lib/util/pidset.ml: Format List Pid Set

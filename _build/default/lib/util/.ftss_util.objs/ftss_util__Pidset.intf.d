@@ -1,0 +1,1 @@
+lib/util/pidset.mli: Format Pid Set

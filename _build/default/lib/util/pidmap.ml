@@ -1,0 +1,9 @@
+include Map.Make (Pid)
+
+let init n f = List.fold_left (fun acc p -> add p (f p) acc) empty (Pid.all n)
+
+let pp pp_v ppf m =
+  let pp_binding ppf (p, v) = Format.fprintf ppf "%a->%a" Pid.pp p pp_v v in
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_binding)
+    (bindings m)

@@ -1,0 +1,9 @@
+(** Maps keyed by process identifiers. *)
+
+include Map.S with type key = Pid.t
+
+(** [init n f] is the map binding each pid in [0 .. n-1] to [f pid]. *)
+val init : int -> (Pid.t -> 'a) -> 'a t
+
+(** [pp pp_v ppf m] prints [m] as [{p0->v; p1->v; ...}]. *)
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit

@@ -1,0 +1,8 @@
+include Set.Make (Pid)
+
+let pp ppf s =
+  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Pid.pp) (elements s)
+
+let to_string s = Format.asprintf "%a" pp s
+let of_pred n pred = List.fold_left (fun acc p -> if pred p then add p acc else acc) empty (Pid.all n)
+let full n = of_list (Pid.all n)

@@ -1,0 +1,12 @@
+(** Sets of process identifiers. *)
+
+include Set.S with type elt = Pid.t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+(** [of_pred n pred] is the set of pids in [0 .. n-1] satisfying [pred]. *)
+val of_pred : int -> (Pid.t -> bool) -> t
+
+(** [full n] is the set of all [n] pids. *)
+val full : int -> t

@@ -1,0 +1,85 @@
+(* Splitmix64 (Steele, Lea & Flood 2014): tiny, fast, and statistically
+   strong enough for simulation workloads; crucially, fully deterministic
+   across platforms, unlike [Stdlib.Random] whose algorithm changed between
+   OCaml releases. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let copy t = { state = t.state }
+
+let next_state t =
+  t.state <- Int64.add t.state golden_gamma;
+  t.state
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t = mix (next_state t)
+
+let split t =
+  let seed = bits64 t in
+  { state = seed }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int without
+     wrapping negative. Modulo is slightly biased but the bias is < 2^-38
+     for every bound used in this repository (all far below 2^24). *)
+  let raw = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  raw mod bound
+
+let int_in t lo hi =
+  if lo > hi then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let float t bound =
+  let raw = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (raw /. 9007199254740992.0 (* 2^53 *))
+
+let chance t p =
+  if p <= 0.0 then false
+  else if p >= 1.0 then true
+  else float t 1.0 < p
+
+let pick t xs =
+  match xs with
+  | [] -> invalid_arg "Rng.pick: empty list"
+  | _ -> List.nth xs (int t (List.length xs))
+
+let shuffle t xs =
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let sample t k xs =
+  let len = List.length xs in
+  if k >= len then xs
+  else begin
+    (* Select k distinct positions, then keep original order. *)
+    let chosen = Hashtbl.create k in
+    let rec draw remaining =
+      if remaining = 0 then ()
+      else begin
+        let i = int t len in
+        if Hashtbl.mem chosen i then draw remaining
+        else begin
+          Hashtbl.add chosen i ();
+          draw (remaining - 1)
+        end
+      end
+    in
+    draw (max 0 k);
+    List.filteri (fun i _ -> Hashtbl.mem chosen i) xs
+  end

@@ -1,0 +1,49 @@
+type row = Cells of string list | Separator
+
+type t = { title : string; headers : string list; mutable rows : row list }
+
+let create ~title headers = { title; headers; rows = [] }
+
+let normalize width cells =
+  let len = List.length cells in
+  if len >= width then List.filteri (fun i _ -> i < width) cells
+  else cells @ List.init (width - len) (fun _ -> "")
+
+let add_row t cells = t.rows <- Cells (normalize (List.length t.headers) cells) :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let column_widths t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let absorb = function
+    | Separator -> ()
+    | Cells cells ->
+      List.iteri (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c)) cells
+  in
+  List.iter absorb rows;
+  widths
+
+let pad width s = s ^ String.make (width - String.length s) ' '
+
+let pp ppf t =
+  let widths = column_widths t in
+  let total = Array.fold_left ( + ) 0 widths + (3 * Array.length widths) + 1 in
+  let rule = String.make total '-' in
+  let pp_cells cells =
+    Format.fprintf ppf "|";
+    List.iteri (fun i c -> Format.fprintf ppf " %s |" (pad widths.(i) c)) cells;
+    Format.fprintf ppf "@\n"
+  in
+  Format.fprintf ppf "%s@\n" t.title;
+  Format.fprintf ppf "%s@\n" rule;
+  pp_cells t.headers;
+  Format.fprintf ppf "%s@\n" rule;
+  List.iter
+    (function
+      | Separator -> Format.fprintf ppf "%s@\n" rule
+      | Cells cells -> pp_cells cells)
+    (List.rev t.rows);
+  Format.fprintf ppf "%s@\n" rule
+
+let print t = Format.printf "%a@." pp t

@@ -1,0 +1,1 @@
+test/test_async.ml: Alcotest Array Consensus Esfd Event_queue Ewfd Ftss_async Ftss_util List Option Pid Printf QCheck QCheck_alcotest Rng Sim

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Canonical Compiler Faults Ftss_core Ftss_sync Ftss_util Impossibility List Pid Pidset Printf Protocol QCheck QCheck_alcotest Rng Round_agreement Runner Solve Spec Trace

@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Faults Ftss_history Ftss_sync Ftss_util List Pidset Protocol QCheck QCheck_alcotest Rng Runner

@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest List Test_async Test_core Test_extensions Test_history Test_properties Test_protocols Test_sync Test_util

@@ -1,0 +1,1 @@
+test/test_sync.ml: Alcotest Array Faults Format Ftss_sync Ftss_util List Pid Pidset Protocol QCheck QCheck_alcotest Rng Runner String Trace

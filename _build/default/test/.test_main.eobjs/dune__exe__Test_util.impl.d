@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Format Ftss_util Fun Gen List Pid Pidmap Pidset QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,364 @@
+(* Tests for the paper's core: round agreement (Fig. 1 / Thm 3), the
+   solving definitions (Defs. 2.1-2.4), the compiler (Fig. 3 / Thm 4
+   mechanics) and the impossibility scenarios (Thms 1-2). *)
+
+open Ftss_util
+open Ftss_sync
+open Ftss_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let run_ra ?corrupt ?corrupt_at ~faults ~rounds () =
+  Runner.run ?corrupt ?corrupt_at ~faults ~rounds Round_agreement.protocol
+
+let c_exn trace ~round p =
+  match Trace.state_before trace ~round p with
+  | Some c -> c
+  | None -> Alcotest.fail "unexpected crash"
+
+(* --- Round agreement / Theorem 3 --- *)
+
+let test_ra_failure_free_converges_in_one_round () =
+  let rng = Rng.create 1 in
+  let trace =
+    run_ra
+      ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:1_000_000)
+      ~faults:(Faults.none 5) ~rounds:6 ()
+  in
+  let reference = c_exn trace ~round:2 0 in
+  List.iter
+    (fun p -> check_int "agreement at round 2" reference (c_exn trace ~round:2 p))
+    (Pid.all 5);
+  (* and the rate condition holds thereafter *)
+  List.iter
+    (fun p -> check_int "rate" (reference + 1) (c_exn trace ~round:3 p))
+    (Pid.all 5)
+
+let test_ra_jumps_to_max_plus_one () =
+  let corrupt p _ = if p = 0 then 100 else 5 in
+  let trace = run_ra ~corrupt ~faults:(Faults.none 2) ~rounds:2 () in
+  check_int "max+1 adopted by both" 101 (c_exn trace ~round:2 0);
+  check_int "max+1 adopted by both" 101 (c_exn trace ~round:2 1)
+
+let test_ra_ftss_solves_with_stabilization_1 () =
+  (* Random omissions + random corruption: Def. 2.4 with r = 1 must hold. *)
+  for seed = 0 to 20 do
+    let rng = Rng.create seed in
+    let n = Rng.int_in rng 2 7 in
+    let rounds = Rng.int_in rng 5 25 in
+    let faults = Faults.random_omission rng ~n ~f:(Rng.int rng n) ~p_drop:0.4 ~rounds in
+    let trace =
+      run_ra ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:1000) ~faults ~rounds ()
+    in
+    check
+      (Printf.sprintf "ftss-solves (seed %d)" seed)
+      true
+      (Solve.ftss_solves Round_agreement.spec
+         ~stabilization:Round_agreement.stabilization_time trace)
+  done
+
+let test_ra_measured_stabilization_at_most_1 () =
+  for seed = 21 to 40 do
+    let rng = Rng.create seed in
+    let n = Rng.int_in rng 2 7 in
+    let rounds = Rng.int_in rng 8 30 in
+    let faults = Faults.random_omission rng ~n ~f:(Rng.int rng n) ~p_drop:0.3 ~rounds in
+    let trace =
+      run_ra ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:10_000) ~faults ~rounds ()
+    in
+    let measured = Solve.measured_stabilization Round_agreement.spec trace in
+    check (Printf.sprintf "measured <= 1 (seed %d)" seed) true (measured <= 1)
+  done
+
+let test_ra_reveal_destabilizes_then_restabilizes () =
+  (* A mute process reveals at round 6 with a huge round variable: agreement
+     must break briefly and re-establish within 1 round of the coterie
+     change. *)
+  let corrupt p _ = if p = 2 then 500 else 7 in
+  let faults = Faults.of_events ~n:3 [ Faults.Mute { pid = 2; first = 1; last = 5 } ] in
+  let trace = run_ra ~corrupt ~faults ~rounds:12 () in
+  (* At round 7 the revealed value has propagated: all correct agree. *)
+  check "disagreement at reveal" true (c_exn trace ~round:6 0 <> 500 + 5);
+  let reference = c_exn trace ~round:7 0 in
+  check_int "re-agreement one round after reveal" reference (c_exn trace ~round:7 1);
+  check "ftss-solves across the reveal" true
+    (Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace)
+
+let test_ra_ss_solves_failure_free () =
+  let rng = Rng.create 5 in
+  let trace =
+    run_ra
+      ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:999)
+      ~faults:(Faults.none 4) ~rounds:10 ()
+  in
+  check "ss-solves with stabilization 1" true
+    (Solve.ss_solves Round_agreement.spec ~stabilization:1 trace);
+  check "does not ss-solve with stabilization 0" false
+    (Solve.ss_solves Round_agreement.spec ~stabilization:0 trace)
+
+let test_ra_ft_solves_from_good_state () =
+  (* From the protocol-specified initial state, with crash faults only,
+     Assumption 1 holds on the whole history (Def. 2.1). *)
+  let faults = Faults.of_events ~n:4 [ Faults.Crash { pid = 3; round = 2 } ] in
+  let trace = run_ra ~faults ~rounds:8 () in
+  check "ft-solves" true (Solve.ft_solves Round_agreement.spec trace)
+
+(* --- Spec machinery --- *)
+
+let test_spec_agreement_detects_violation () =
+  let corrupt p _ = p in
+  let faults =
+    Faults.of_events ~n:3 [ Faults.Isolate { pid = 2; first = 1; last = 4 } ]
+  in
+  let trace = run_ra ~corrupt ~faults ~rounds:4 () in
+  let spec = Spec.round_agreement ~round_of:(fun c -> c) in
+  check "correct pair agrees from round 2, but round 1 differs" false
+    (spec.Spec.holds trace ~faulty:(Pidset.singleton 2))
+
+let test_spec_rate_detects_jump () =
+  let corrupt p _ = if p = 0 then 50 else 1 in
+  let trace = run_ra ~corrupt ~faults:(Faults.none 2) ~rounds:2 () in
+  let rate = Spec.round_rate ~round_of:(fun c -> c) in
+  (* Process 1 jumps from 1 to 51: rate violated. *)
+  check "rate violated by jump" false (rate.Spec.holds trace ~faulty:Pidset.empty)
+
+let test_spec_faulty_processes_exempt () =
+  let corrupt p _ = if p = 2 then 1000 else 1 in
+  let faults = Faults.of_events ~n:3 [ Faults.Isolate { pid = 2; first = 1; last = 6 } ] in
+  let trace = run_ra ~corrupt ~faults ~rounds:6 () in
+  let spec = Round_agreement.spec in
+  check "holds when deviant is declared faulty" true
+    (spec.Spec.holds trace ~faulty:(Pidset.singleton 2));
+  check "fails when deviant is considered correct" false
+    (spec.Spec.holds trace ~faulty:Pidset.empty)
+
+let test_uniformity_spec () =
+  let spec = Spec.uniformity ~round_of:(fun c -> c) ~halted:(fun c -> c = min_int) in
+  let corrupt p _ = if p = 1 then 99 else 1 in
+  let faults = Faults.of_events ~n:2 [ Faults.Isolate { pid = 1; first = 1; last = 3 } ] in
+  let trace = run_ra ~corrupt ~faults ~rounds:3 () in
+  check "disagreeing unhalted faulty process violates uniformity" false
+    (spec.Spec.holds trace ~faulty:(Pidset.singleton 1))
+
+(* --- Compiler mechanics --- *)
+
+let test_normalize () =
+  check_int "good initial state runs round 1" 1 (Compiler.normalize ~final_round:3 1);
+  check_int "c=fr runs the final round" 3 (Compiler.normalize ~final_round:3 3);
+  check_int "wraps to a new iteration" 1 (Compiler.normalize ~final_round:3 4);
+  check_int "corrupted zero" 3 (Compiler.normalize ~final_round:3 0);
+  check_int "negative corrupted value" 2 (Compiler.normalize ~final_round:3 (-1));
+  check_int "fr=1 constant" 1 (Compiler.normalize ~final_round:1 12345)
+
+let test_iteration_index () =
+  check_int "first iteration" 0 (Compiler.iteration ~final_round:3 2);
+  check_int "c=fr still first iteration" 0 (Compiler.iteration ~final_round:3 3);
+  check_int "c=fr+1 second iteration" 1 (Compiler.iteration ~final_round:3 4);
+  check_int "negative floors" (-1) (Compiler.iteration ~final_round:3 (-1))
+
+(* A toy canonical protocol: after k rounds of full-information exchange,
+   decide the minimum pid whose state was ever received. *)
+let toy_pi ~final_round : (Pidset.t, Pid.t) Canonical.t =
+  {
+    Canonical.name = "toy-min";
+    final_round;
+    s_init = (fun p -> Pidset.singleton p);
+    transition =
+      (fun _ s deliveries _k ->
+        List.fold_left
+          (fun acc { Protocol.payload; _ } -> Pidset.union acc payload)
+          s deliveries);
+    decide = (fun s -> Pidset.min_elt_opt s);
+  }
+
+let run_compiled ?corrupt ~n ~faults ~rounds pi =
+  Runner.run ?corrupt ~faults ~rounds (Compiler.compile ~n pi)
+
+let compiled_state_exn trace ~round p =
+  match Trace.state_before trace ~round p with
+  | Some st -> st
+  | None -> Alcotest.fail "unexpected crash"
+
+let test_compiled_failure_free_iterates () =
+  let pi = toy_pi ~final_round:3 in
+  let trace = run_compiled ~n:3 ~faults:(Faults.none 3) ~rounds:10 pi in
+  (* Round variables advance in lockstep from the good initial state. *)
+  List.iter
+    (fun p ->
+      let st = compiled_state_exn trace ~round:10 p in
+      check_int "round variable" 10 st.Compiler.c)
+    (Pid.all 3);
+  (* c=1,2 -> k=2,3; reset when c reaches 3 (normalize 3 = 1): first
+     iteration completes at end of the round where k=3 ran. c starts at 1 so
+     k = normalize 1 = 2... *)
+  ignore pi
+
+let test_compiled_decisions_agree () =
+  let pi = toy_pi ~final_round:4 in
+  let trace = run_compiled ~n:4 ~faults:(Faults.none 4) ~rounds:16 pi in
+  let decisions =
+    List.filter_map
+      (fun p ->
+        let st = compiled_state_exn trace ~round:16 p in
+        st.Compiler.last_decision)
+      (Pid.all 4)
+  in
+  check_int "everyone decided" 4 (List.length decisions);
+  check "all equal" true (List.for_all (fun d -> d = List.hd decisions) decisions);
+  check_int "decided min pid" 0 (List.hd decisions)
+
+let test_compiled_round_spec_ftss () =
+  for seed = 50 to 65 do
+    let rng = Rng.create seed in
+    let n = Rng.int_in rng 2 6 in
+    let fr = Rng.int_in rng 2 5 in
+    let pi = toy_pi ~final_round:fr in
+    let rounds = Rng.int_in rng 10 40 in
+    let faults = Faults.random_omission rng ~n ~f:(Rng.int rng n) ~p_drop:0.3 ~rounds in
+    let corrupt =
+      Compiler.corrupt rng ~pi ~n ~c_bound:1000 ~corrupt_s:(fun rng _ _ ->
+          Pidset.of_pred n (fun _ -> Rng.bool rng))
+    in
+    let trace = run_compiled ~corrupt ~n ~faults ~rounds pi in
+    check
+      (Printf.sprintf "compiled round agreement ftss (seed %d)" seed)
+      true
+      (Solve.ftss_solves (Compiler.round_spec ()) ~stabilization:1 trace)
+  done
+
+let test_compiled_reset_clears_suspects () =
+  let pi = toy_pi ~final_round:2 in
+  (* Corrupt every suspect set to "everyone"; within one completed iteration
+     the sets must be reset to empty. *)
+  let corrupt _ (st : (Pidset.t, Pid.t) Compiler.state) =
+    { st with Compiler.suspects = Pidset.full 3 }
+  in
+  let trace = run_compiled ~corrupt ~n:3 ~faults:(Faults.none 3) ~rounds:6 pi in
+  let st = compiled_state_exn trace ~round:6 0 in
+  check "suspects empty after reset" true (Pidset.is_empty st.Compiler.suspects)
+
+let test_compiled_suspects_stale_round_sender () =
+  (* One process starts with a lagging round variable: everyone else must
+     suspect it (its tags disagree), and its messages must be filtered,
+     until the next iteration boundary resets suspicion. *)
+  let pi = toy_pi ~final_round:5 in
+  (* c = 6 keeps the next value (7) inside the same iteration, so the
+     suspect set survives to the start of round 2. *)
+  let corrupt p (st : (Pidset.t, Pid.t) Compiler.state) =
+    if p = 2 then { st with Compiler.c = 0 } else { st with Compiler.c = 6 }
+  in
+  let trace = run_compiled ~corrupt ~n:3 ~faults:(Faults.none 3) ~rounds:2 pi in
+  let st0 = compiled_state_exn trace ~round:2 0 in
+  check "stale sender suspected" true (Pidset.mem 2 st0.Compiler.suspects);
+  (* The lagging process heard round tag 6 and adopts 7. *)
+  let st2 = compiled_state_exn trace ~round:2 2 in
+  check_int "lagging process adopts max+1" 7 st2.Compiler.c
+
+(* --- Impossibility scenarios --- *)
+
+let test_theorem1_confirmed () =
+  let report = Impossibility.Theorem1.run ~isolation:5 ~c_p:17 ~c_q:3 ~suffix:6 in
+  check "gap persists" true (report.Impossibility.Theorem1.gap_at_suffix > 0);
+  check "suffix = fresh run" true report.Impossibility.Theorem1.suffix_matches_fresh_run;
+  check "reconciliation violates rate" true
+    (report.Impossibility.Theorem1.rate_violation_round <> None);
+  check "rate-obeying never agrees" true
+    report.Impossibility.Theorem1.rate_obeying_never_agrees;
+  check "theorem confirmed" true (Impossibility.Theorem1.confirms_theorem report)
+
+let test_theorem1_various_parameters () =
+  List.iter
+    (fun (iso, cp, cq, suf) ->
+      let report = Impossibility.Theorem1.run ~isolation:iso ~c_p:cp ~c_q:cq ~suffix:suf in
+      check
+        (Printf.sprintf "confirmed for iso=%d" iso)
+        true
+        (Impossibility.Theorem1.confirms_theorem report))
+    [ (1, 2, 9, 4); (3, 1000, 1, 8); (10, 5, 6, 2) ]
+
+let test_theorem1_rejects_equal_rounds () =
+  Alcotest.check_raises "equal c" (Invalid_argument "Theorem1.run: round variables must differ")
+    (fun () -> ignore (Impossibility.Theorem1.run ~isolation:2 ~c_p:4 ~c_q:4 ~suffix:4))
+
+let test_theorem2_confirmed () =
+  let report = Impossibility.Theorem2.run ~silence_threshold:3 ~c_p:11 ~c_q:2 ~rounds:10 in
+  check "views identical" true report.Impossibility.Theorem2.views_identical;
+  check "halting strawman halts a correct process" true
+    report.Impossibility.Theorem2.self_checking_halts_correct_process;
+  check "non-halting strawman violates uniformity" true
+    report.Impossibility.Theorem2.never_halting_violates_uniformity;
+  check "theorem confirmed" true (Impossibility.Theorem2.confirms_theorem report)
+
+let prop_ra_ftss_random =
+  QCheck.Test.make ~name:"round agreement ftss-solves under random adversaries" ~count:60
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create (seed * 7919) in
+      let n = Rng.int_in rng 2 8 in
+      let rounds = Rng.int_in rng 3 30 in
+      let faults = Faults.random_omission rng ~n ~f:(Rng.int rng n) ~p_drop:0.6 ~rounds in
+      let trace =
+        Runner.run
+          ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:100_000)
+          ~faults ~rounds Round_agreement.protocol
+      in
+      Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace)
+
+let prop_compiled_round_agreement_random =
+  QCheck.Test.make ~name:"compiled protocol round variables ftss-agree" ~count:40
+    QCheck.small_nat
+    (fun seed ->
+      let rng = Rng.create ((seed * 31) + 1) in
+      let n = Rng.int_in rng 2 6 in
+      let fr = Rng.int_in rng 1 6 in
+      let pi = toy_pi ~final_round:fr in
+      let rounds = Rng.int_in rng 5 30 in
+      let faults = Faults.random_omission rng ~n ~f:(Rng.int rng n) ~p_drop:0.5 ~rounds in
+      let corrupt =
+        Compiler.corrupt rng ~pi ~n ~c_bound:500 ~corrupt_s:(fun rng _ _ ->
+            Pidset.of_pred n (fun _ -> Rng.bool rng))
+      in
+      let trace = Runner.run ~corrupt ~faults ~rounds (Compiler.compile ~n pi) in
+      Solve.ftss_solves (Compiler.round_spec ()) ~stabilization:1 trace)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "round-agreement",
+      [
+        tc "failure-free convergence in one round" `Quick test_ra_failure_free_converges_in_one_round;
+        tc "jumps to max+1" `Quick test_ra_jumps_to_max_plus_one;
+        tc "ftss-solves, stabilization 1 (Thm 3)" `Quick test_ra_ftss_solves_with_stabilization_1;
+        tc "measured stabilization <= 1" `Quick test_ra_measured_stabilization_at_most_1;
+        tc "reveal destabilizes then restabilizes" `Quick test_ra_reveal_destabilizes_then_restabilizes;
+        tc "ss-solves failure-free" `Quick test_ra_ss_solves_failure_free;
+        tc "ft-solves from good state" `Quick test_ra_ft_solves_from_good_state;
+        QCheck_alcotest.to_alcotest prop_ra_ftss_random;
+      ] );
+    ( "spec",
+      [
+        tc "agreement detects violation" `Quick test_spec_agreement_detects_violation;
+        tc "rate detects jump" `Quick test_spec_rate_detects_jump;
+        tc "faulty processes exempt" `Quick test_spec_faulty_processes_exempt;
+        tc "uniformity spec" `Quick test_uniformity_spec;
+      ] );
+    ( "compiler",
+      [
+        tc "normalize" `Quick test_normalize;
+        tc "iteration index" `Quick test_iteration_index;
+        tc "failure-free lockstep" `Quick test_compiled_failure_free_iterates;
+        tc "decisions agree across processes" `Quick test_compiled_decisions_agree;
+        tc "round spec ftss under adversaries" `Quick test_compiled_round_spec_ftss;
+        tc "reset clears corrupted suspects" `Quick test_compiled_reset_clears_suspects;
+        tc "stale-round sender suspected" `Quick test_compiled_suspects_stale_round_sender;
+        QCheck_alcotest.to_alcotest prop_compiled_round_agreement_random;
+      ] );
+    ( "impossibility",
+      [
+        tc "Theorem 1 confirmed" `Quick test_theorem1_confirmed;
+        tc "Theorem 1 parameter sweep" `Quick test_theorem1_various_parameters;
+        tc "Theorem 1 rejects equal rounds" `Quick test_theorem1_rejects_equal_rounds;
+        tc "Theorem 2 confirmed" `Quick test_theorem2_confirmed;
+      ] );
+  ]

@@ -1,0 +1,251 @@
+(* Unit tests for the synchronous substrate: fault schedules, the lockstep
+   runner, trace recording and sub-histories. *)
+
+open Ftss_util
+open Ftss_sync
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A protocol that accumulates the set of pids heard from, ever. *)
+let gossip : (Pidset.t, Pidset.t) Protocol.t =
+  {
+    Protocol.name = "gossip";
+    init = (fun p -> Pidset.singleton p);
+    broadcast = (fun _ s -> s);
+    step =
+      (fun _ s deliveries ->
+        List.fold_left
+          (fun acc { Protocol.src; payload } -> Pidset.add src (Pidset.union acc payload))
+          s deliveries);
+  }
+
+let counter : (int, int) Protocol.t =
+  {
+    Protocol.name = "counter";
+    init = (fun _ -> 0);
+    broadcast = (fun _ c -> c);
+    step = (fun _ c _ -> c + 1);
+  }
+
+let state_exn trace ~round p =
+  match Trace.state_before trace ~round p with
+  | Some s -> s
+  | None -> Alcotest.fail "process unexpectedly crashed"
+
+let final_state_exn trace p =
+  match Trace.state_after trace ~round:(Trace.length trace) p with
+  | Some s -> s
+  | None -> Alcotest.fail "process unexpectedly crashed"
+
+let test_failure_free_gossip () =
+  let trace = Runner.run ~faults:(Faults.none 4) ~rounds:3 gossip in
+  (* After one round everyone has heard everyone. *)
+  List.iter
+    (fun p ->
+      check "full knowledge after round 1" true
+        (Pidset.equal (Pidset.full 4) (state_exn trace ~round:2 p)))
+    (Pid.all 4)
+
+let test_self_delivery_not_droppable () =
+  (* Even a fully isolated process keeps receiving its own broadcast. *)
+  let faults = Faults.of_events ~n:3 [ Faults.Isolate { pid = 2; first = 1; last = 5 } ] in
+  let trace = Runner.run ~faults ~rounds:5 gossip in
+  check "isolated process still knows itself" true
+    (Pidset.mem 2 (final_state_exn trace 2));
+  check "isolated process learned nothing else" true
+    (Pidset.equal (Pidset.singleton 2) (final_state_exn trace 2));
+  check "others never heard the isolated process" true
+    (not (Pidset.mem 2 (final_state_exn trace 0)))
+
+let test_crash_semantics () =
+  let faults = Faults.of_events ~n:3 [ Faults.Crash { pid = 1; round = 2 } ] in
+  let trace = Runner.run ~faults ~rounds:4 counter in
+  check "alive before crash" true (Trace.alive trace ~round:1 1);
+  check "dead at crash round" false (Trace.alive trace ~round:2 1);
+  check "state is None after crash" true (Trace.state_before trace ~round:3 1 = None);
+  (* The crashed process broadcast in round 1 but not in round 2. *)
+  let r1 = Trace.record trace ~round:1 and r2 = Trace.record trace ~round:2 in
+  check "sent in round 1" true (r1.Trace.sent.(1) <> None);
+  check "silent in round 2" true (r2.Trace.sent.(1) = None)
+
+let test_crash_in_round_1_means_no_participation () =
+  let faults = Faults.of_events ~n:2 [ Faults.Crash { pid = 0; round = 1 } ] in
+  let trace = Runner.run ~faults ~rounds:2 gossip in
+  check "other never hears crashed" true
+    (not (Pidset.mem 0 (final_state_exn trace 1)))
+
+let test_drop_is_directional () =
+  let faults = Faults.of_events ~n:2 [ Faults.Drop { src = 0; dst = 1; round = 1 } ] in
+  let trace = Runner.run ~faults ~rounds:1 gossip in
+  let r = Trace.record trace ~round:1 in
+  let senders_to p =
+    List.map (fun { Protocol.src; _ } -> src) r.Trace.delivered.(p)
+  in
+  check "1 did not hear 0" true (not (List.mem 0 (senders_to 1)));
+  check "0 heard 1" true (List.mem 1 (senders_to 0));
+  check_int "omission recorded" 1 (List.length trace.Trace.omissions)
+
+let test_mute_deaf_isolate () =
+  let n = 3 in
+  let muted = Faults.of_events ~n [ Faults.Mute { pid = 0; first = 1; last = 2 } ] in
+  check "mute drops sends" true (Faults.drops muted ~round:1 ~src:0 ~dst:1);
+  check "mute does not drop receives" false (Faults.drops muted ~round:1 ~src:1 ~dst:0);
+  check "mute expires" false (Faults.drops muted ~round:3 ~src:0 ~dst:1);
+  let deaf = Faults.of_events ~n [ Faults.Deaf { pid = 0; first = 1; last = 2 } ] in
+  check "deaf drops receives" true (Faults.drops deaf ~round:2 ~src:1 ~dst:0);
+  check "deaf does not drop sends" false (Faults.drops deaf ~round:2 ~src:0 ~dst:1);
+  let iso = Faults.of_events ~n [ Faults.Isolate { pid = 0; first = 1; last = 2 } ] in
+  check "isolate drops both" true
+    (Faults.drops iso ~round:1 ~src:0 ~dst:1 && Faults.drops iso ~round:1 ~src:1 ~dst:0)
+
+let test_self_message_never_dropped_by_schedule () =
+  let faults = Faults.of_events ~n:2 [ Faults.Isolate { pid = 0; first = 1; last = 9 } ] in
+  check "self message survives isolation" false (Faults.drops faults ~round:1 ~src:0 ~dst:0)
+
+let test_declared_faulty_covers_events () =
+  let faults =
+    Faults.of_events ~n:4
+      [
+        Faults.Crash { pid = 0; round = 3 };
+        Faults.Mute { pid = 1; first = 1; last = 2 };
+        Faults.Drop { src = 2; dst = 3; round = 1 };
+      ]
+  in
+  check "crashed declared" true (Pidset.mem 0 (Faults.faulty faults));
+  check "muted declared" true (Pidset.mem 1 (Faults.faulty faults));
+  check "drop sender declared" true (Pidset.mem 2 (Faults.faulty faults));
+  check_int "f counts declared set" 3 (Faults.f faults)
+
+let test_observed_faulty_subset_of_declared () =
+  let rng = Rng.create 99 in
+  let faults = Faults.random_omission rng ~n:6 ~f:2 ~p_drop:0.5 ~rounds:10 in
+  let trace = Runner.run ~faults ~rounds:10 gossip in
+  check "trace blames only declared-faulty processes" true (Trace.blames_declared trace);
+  check "crashes covered by declared set" true
+    (Faults.consistent faults ~observed:(Trace.crashed trace))
+
+let test_random_omission_spares_correct_links () =
+  let rng = Rng.create 4 in
+  let faults = Faults.random_omission rng ~n:5 ~f:2 ~p_drop:1.0 ~rounds:5 in
+  let correct = Faults.correct faults in
+  Pidset.iter
+    (fun p ->
+      Pidset.iter
+        (fun q ->
+          if not (Pid.equal p q) then
+            check "correct-correct link reliable" false
+              (Faults.drops faults ~round:3 ~src:p ~dst:q))
+        correct)
+    correct
+
+let test_corruption_applies_at_round_1 () =
+  let trace =
+    Runner.run
+      ~corrupt:(fun p _ -> Pidset.of_list [ p; 99 ])
+      ~faults:(Faults.none 2) ~rounds:1 gossip
+  in
+  check "corrupted state visible in round 1" true
+    (Pidset.mem 99 (state_exn trace ~round:1 0))
+
+let test_corrupt_at_mid_run () =
+  let trace =
+    Runner.run
+      ~corrupt_at:[ (3, fun _ _ -> 100) ]
+      ~faults:(Faults.none 2) ~rounds:5 counter
+  in
+  check_int "counter reset mid-run" 100 (state_exn trace ~round:3 0);
+  check_int "counts on from injected value" 102 (state_exn trace ~round:5 0)
+
+let test_sub_trace () =
+  let faults = Faults.of_events ~n:3 [ Faults.Crash { pid = 2; round = 4 } ] in
+  let trace = Runner.run ~faults ~rounds:6 counter in
+  let sub = Trace.sub trace ~first:3 ~last:5 in
+  check_int "length" 3 (Trace.length sub);
+  check_int "renumbered rounds" 1 (Trace.record sub ~round:1).Trace.round;
+  check_int "states preserved" 2 (state_exn sub ~round:1 0);
+  (* Crash at original round 4 becomes round 2 of the sub-trace. *)
+  check "alive at sub round 1" true (Trace.alive sub ~round:1 2);
+  check "crashed at sub round 2" false (Trace.alive sub ~round:2 2)
+
+let test_sub_trace_bad_interval_raises () =
+  let trace = Runner.run ~faults:(Faults.none 2) ~rounds:3 counter in
+  Alcotest.check_raises "empty interval" (Invalid_argument "Trace.sub: empty interval")
+    (fun () -> ignore (Trace.sub trace ~first:3 ~last:2))
+
+let test_runner_rejects_zero_rounds () =
+  Alcotest.check_raises "rounds < 1" (Invalid_argument "Runner.run: rounds < 1")
+    (fun () -> ignore (Runner.run ~faults:(Faults.none 2) ~rounds:0 counter))
+
+let test_pp_rounds_renders () =
+  let faults = Faults.of_events ~n:3 [ Faults.Crash { pid = 2; round = 2 } ] in
+  let trace = Runner.run ~faults ~rounds:3 counter in
+  let s = Format.asprintf "%a" (Trace.pp_rounds Format.pp_print_int) trace in
+  check "mentions every round" true
+    (List.for_all (fun r -> String.length s > 0 && String.length r > 0) [ "r1"; "r2"; "r3" ]);
+  (* The crashed process is marked. *)
+  check "marks the crash" true
+    (String.split_on_char '!' s |> List.length > 1)
+
+let test_deliveries_ordered_by_sender () =
+  let trace = Runner.run ~faults:(Faults.none 5) ~rounds:1 gossip in
+  let r = Trace.record trace ~round:1 in
+  let senders = List.map (fun { Protocol.src; _ } -> src) r.Trace.delivered.(3) in
+  check "sorted" true (senders = List.sort compare senders)
+
+(* Properties. *)
+
+let prop_failure_free_counter_lockstep =
+  QCheck.Test.make ~name:"failure-free counter stays in lockstep" ~count:50
+    QCheck.(pair (int_range 1 8) (int_range 1 20))
+    (fun (n, rounds) ->
+      let trace = Runner.run ~faults:(Faults.none n) ~rounds counter in
+      List.for_all
+        (fun p -> state_exn trace ~round:rounds p = rounds - 1)
+        (Pid.all n))
+
+let prop_gossip_monotone =
+  QCheck.Test.make ~name:"gossip knowledge only grows" ~count:50
+    QCheck.(triple (int_range 2 6) (int_range 2 10) small_nat)
+    (fun (n, rounds, seed) ->
+      let rng = Rng.create seed in
+      let faults = Faults.random_omission rng ~n ~f:(n / 2) ~p_drop:0.4 ~rounds in
+      let trace = Runner.run ~faults ~rounds gossip in
+      List.for_all
+        (fun p ->
+          let rec mono r =
+            if r >= rounds then true
+            else
+              match (Trace.state_before trace ~round:r p, Trace.state_before trace ~round:(r + 1) p) with
+              | Some a, Some b -> Pidset.subset a b && mono (r + 1)
+              | _ -> true
+          in
+          mono 1)
+        (Pid.all n))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "sync",
+      [
+        tc "failure-free gossip floods in one round" `Quick test_failure_free_gossip;
+        tc "self delivery survives isolation" `Quick test_self_delivery_not_droppable;
+        tc "crash semantics" `Quick test_crash_semantics;
+        tc "crash in round 1" `Quick test_crash_in_round_1_means_no_participation;
+        tc "drop is directional and recorded" `Quick test_drop_is_directional;
+        tc "mute/deaf/isolate" `Quick test_mute_deaf_isolate;
+        tc "schedule cannot drop self messages" `Quick test_self_message_never_dropped_by_schedule;
+        tc "declared faulty covers events" `Quick test_declared_faulty_covers_events;
+        tc "observed faulty within declared" `Quick test_observed_faulty_subset_of_declared;
+        tc "random omission spares correct links" `Quick test_random_omission_spares_correct_links;
+        tc "corruption applies at round 1" `Quick test_corruption_applies_at_round_1;
+        tc "mid-run corruption" `Quick test_corrupt_at_mid_run;
+        tc "sub-trace" `Quick test_sub_trace;
+        tc "sub-trace rejects empty interval" `Quick test_sub_trace_bad_interval_raises;
+        tc "runner rejects zero rounds" `Quick test_runner_rejects_zero_rounds;
+        tc "deliveries ordered by sender" `Quick test_deliveries_ordered_by_sender;
+        tc "pp_rounds renders" `Quick test_pp_rounds_renders;
+        QCheck_alcotest.to_alcotest prop_failure_free_counter_lockstep;
+        QCheck_alcotest.to_alcotest prop_gossip_monotone;
+      ] );
+  ]

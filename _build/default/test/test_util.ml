@@ -1,0 +1,143 @@
+(* Unit and property tests for ftss_util. *)
+
+open Ftss_util
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_pid_all () =
+  check_int "all 4 has 4 pids" 4 (List.length (Pid.all 4));
+  check_int "all 0 is empty" 0 (List.length (Pid.all 0));
+  check "validity" true (Pid.is_valid ~n:3 2);
+  check "invalid above" false (Pid.is_valid ~n:3 3);
+  check "invalid below" false (Pid.is_valid ~n:3 (-1));
+  Alcotest.check_raises "negative size" (Invalid_argument "Pid.all: negative system size")
+    (fun () -> ignore (Pid.all (-1)))
+
+let test_pidset_helpers () =
+  let s = Pidset.of_pred 5 (fun p -> p mod 2 = 0) in
+  check_int "evens below 5" 3 (Pidset.cardinal s);
+  check "full contains all" true (Pidset.equal (Pidset.full 3) (Pidset.of_list [ 0; 1; 2 ]));
+  check "pp does not raise" true (String.length (Pidset.to_string s) > 0)
+
+let test_pidmap_init () =
+  let m = Pidmap.init 4 (fun p -> p * p) in
+  check_int "bindings" 4 (Pidmap.cardinal m);
+  check_int "value" 9 (Pidmap.find 3 m)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  let xs = List.init 100 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 100 (fun _ -> Rng.int b 1000) in
+  check "equal streams from equal seeds" true (xs = ys)
+
+let test_rng_copy_independent () =
+  let a = Rng.create 7 in
+  let _ = Rng.int a 10 in
+  let b = Rng.copy a in
+  check_int "copy continues identically" (Rng.int b 1000000) (Rng.int a 1000000)
+
+let test_rng_split () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  check "split streams differ" true (xs <> ys)
+
+let test_rng_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    check "int in bound" true (0 <= x && x < 7);
+    let y = Rng.int_in rng (-3) 3 in
+    check "int_in in range" true (-3 <= y && y <= 3)
+  done;
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: non-positive bound")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_rng_sample () =
+  let rng = Rng.create 11 in
+  let xs = List.init 20 Fun.id in
+  let s = Rng.sample rng 5 xs in
+  check_int "sample size" 5 (List.length s);
+  check "sample distinct" true (List.length (List.sort_uniq compare s) = 5);
+  check "sample subset" true (List.for_all (fun x -> List.mem x xs) s);
+  check "oversample is identity" true (Rng.sample rng 50 xs = xs)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 13 in
+  let xs = List.init 30 Fun.id in
+  let s = Rng.shuffle rng xs in
+  check "same elements" true (List.sort compare s = xs)
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 5 in
+  check "p=0 never" false (Rng.chance rng 0.0);
+  check "p=1 always" true (Rng.chance rng 1.0)
+
+let test_stats_basics () =
+  let open Stats in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 (mean [ 1.0; 2.0; 3.0 ]);
+  Alcotest.(check (float 1e-9)) "stddev of constant" 0.0 (stddev [ 4.0; 4.0 ]);
+  Alcotest.(check (float 1e-9)) "p50" 2.0 (percentile 50.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "p100 is max" 3.0 (percentile 100.0 [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "min" 1.0 (Stats.min [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-9)) "max" 3.0 (Stats.max [ 3.0; 1.0; 2.0 ]);
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty sample")
+    (fun () -> ignore (mean []))
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~buckets:int_of_float [ 1.1; 1.9; 2.5; 3.0 ] in
+  Alcotest.(check (list (pair int int))) "buckets" [ (1, 2); (2, 1); (3, 1) ] h
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" [ "a"; "bb" ] in
+  Table.add_row t [ "1"; "2" ];
+  Table.add_separator t;
+  Table.add_row t [ "333" ];
+  let s = Format.asprintf "%a" Table.pp t in
+  check "contains title" true (String.length s > 0);
+  check "contains cell" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0))
+
+(* Property tests. *)
+
+let prop_percentile_bounded =
+  QCheck.Test.make ~name:"percentile lies within sample bounds" ~count:200
+    QCheck.(pair (float_bound_inclusive 100.0) (list_of_size Gen.(1 -- 30) (float_bound_inclusive 50.0)))
+    (fun (p, xs) ->
+      let v = Stats.percentile p xs in
+      v >= Stats.min xs && v <= Stats.max xs)
+
+let prop_sample_subset =
+  QCheck.Test.make ~name:"Rng.sample yields a distinct subset" ~count:200
+    QCheck.(pair small_nat (small_list small_int))
+    (fun (k, xs) ->
+      let xs = List.mapi (fun i x -> (i, x)) xs in
+      let rng = Rng.create (k + List.length xs) in
+      let s = Rng.sample rng k xs in
+      List.length (List.sort_uniq compare s) = List.length s
+      && List.for_all (fun x -> List.mem x xs) s)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "util",
+      [
+        tc "pid.all and validity" `Quick test_pid_all;
+        tc "pidset helpers" `Quick test_pidset_helpers;
+        tc "pidmap init" `Quick test_pidmap_init;
+        tc "rng determinism" `Quick test_rng_determinism;
+        tc "rng copy" `Quick test_rng_copy_independent;
+        tc "rng split" `Quick test_rng_split;
+        tc "rng bounds" `Quick test_rng_bounds;
+        tc "rng sample" `Quick test_rng_sample;
+        tc "rng shuffle" `Quick test_rng_shuffle_permutes;
+        tc "rng chance extremes" `Quick test_rng_chance_extremes;
+        tc "stats basics" `Quick test_stats_basics;
+        tc "stats histogram" `Quick test_stats_histogram;
+        tc "table renders" `Quick test_table_renders;
+        QCheck_alcotest.to_alcotest prop_percentile_bounded;
+        QCheck_alcotest.to_alcotest prop_sample_subset;
+      ] );
+  ]
