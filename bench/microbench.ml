@@ -64,6 +64,24 @@ let async_consensus_run ~n =
            (Sim.run config
               (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose ~oracle))))
 
+let explorer_throughput ~domains =
+  let open Ftss_check in
+  let prop =
+    match Property.find ~name:"theorem3" ~inject:"none" with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  let params =
+    { Schedule_enum.n = 3; rounds = 3; f = 1; intervals = true; drops = true }
+  in
+  let cases = Schedule_enum.enumerate params in
+  Test.make
+    ~name:
+      (Printf.sprintf "explorer theorem3 %d cases (%d domain%s)"
+         (Array.length cases) domains
+         (if domains = 1 then "" else "s"))
+    (Staged.stage (fun () -> ignore (Explore.run ~domains prop cases)))
+
 let tests =
   Test.make_grouped ~name:"ftss" ~fmt:"%s %s"
     [
@@ -75,6 +93,8 @@ let tests =
       esfd_tick ~n:5;
       esfd_tick ~n:9;
       async_consensus_run ~n:5;
+      explorer_throughput ~domains:1;
+      explorer_throughput ~domains:(max 2 (Ftss_check.Explore.available ()));
     ]
 
 let run () =

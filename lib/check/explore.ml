@@ -1,0 +1,121 @@
+type result = { fingerprint : string; ok : bool; detail : string; states : int }
+
+type stats = {
+  cases : int;
+  distinct : int;
+  dedup_hits : int;
+  violations : int list;
+  states : int;
+  elapsed : float;
+  domains : int;
+}
+
+let available () = Domain.recommended_domain_count ()
+
+(* The verdict cache. Verdicts are pure functions of the fingerprinted
+   execution, so a cached verdict is exactly what re-evaluation would
+   produce; the race where two domains evaluate the same fingerprint
+   concurrently is benign (both store the same value). The cache only
+   short-circuits work — the reported dedup statistics are recomputed
+   deterministically from the merged per-case fingerprints. *)
+type cache = { table : (string, Property.verdict) Hashtbl.t; mutex : Mutex.t }
+
+let cache_find cache key =
+  Mutex.lock cache.mutex;
+  let v = Hashtbl.find_opt cache.table key in
+  Mutex.unlock cache.mutex;
+  v
+
+let cache_store cache key v =
+  Mutex.lock cache.mutex;
+  if not (Hashtbl.mem cache.table key) then Hashtbl.add cache.table key v;
+  Mutex.unlock cache.mutex
+
+let run ?(domains = 1) (property : Property.t) cases =
+  let len = Array.length cases in
+  let domains = max 1 (min domains 64) in
+  let results = Array.make len None in
+  let cache = { table = Hashtbl.create (max 16 len); mutex = Mutex.create () } in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < len then begin
+        let r = property.Property.run cases.(i) in
+        let verdict =
+          match cache_find cache r.Property.fingerprint with
+          | Some v -> v
+          | None ->
+            let v = Lazy.force r.Property.verdict in
+            cache_store cache r.Property.fingerprint v;
+            v
+        in
+        results.(i) <-
+          Some
+            {
+              fingerprint = r.Property.fingerprint;
+              ok = verdict.Property.ok;
+              detail = verdict.Property.detail;
+              states = r.Property.states;
+            };
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Unix.gettimeofday () in
+  if domains = 1 then worker ()
+  else begin
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned
+  end;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let results =
+    Array.map
+      (function Some r -> r | None -> assert false (* every index was claimed *))
+      results
+  in
+  let seen = Hashtbl.create (max 16 len) in
+  let distinct = ref 0 and states = ref 0 and violations = ref [] in
+  Array.iteri
+    (fun i r ->
+      if not (Hashtbl.mem seen r.fingerprint) then begin
+        Hashtbl.add seen r.fingerprint ();
+        incr distinct
+      end;
+      states := !states + r.states;
+      if not r.ok then violations := i :: !violations)
+    results;
+  ( {
+      cases = len;
+      distinct = !distinct;
+      dedup_hits = len - !distinct;
+      violations = List.rev !violations;
+      states = !states;
+      elapsed;
+      domains;
+    },
+    results )
+
+let runs_per_sec s = if s.elapsed > 0. then float_of_int s.cases /. s.elapsed else 0.
+
+let states_per_sec s =
+  if s.elapsed > 0. then float_of_int s.states /. s.elapsed else 0.
+
+let dedup_rate s =
+  if s.cases = 0 then 0. else float_of_int s.dedup_hits /. float_of_int s.cases
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>runs explored: %d, distinct traces: %d, dedup hits: %d (%.1f%%)@,\
+     states simulated: %d@,\
+     violations: %d@,\
+     elapsed: %.3f s at %d domain%s (%.0f runs/s, %.0f states/s)@]"
+    s.cases s.distinct s.dedup_hits
+    (100. *. dedup_rate s)
+    s.states
+    (List.length s.violations)
+    s.elapsed s.domains
+    (if s.domains = 1 then "" else "s")
+    (runs_per_sec s) (states_per_sec s)

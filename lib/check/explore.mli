@@ -1,0 +1,40 @@
+(** Parallel exhaustive exploration of an enumerated adversary space.
+
+    A work queue over OCaml 5 [Domain]s: an atomic cursor hands each
+    domain the next case index; each domain executes the case's protocol
+    run, consults a shared fingerprint table, and either reuses the
+    verdict of an isomorphic earlier run (a {e dedup hit}) or evaluates
+    the property and publishes it. Results land in a per-case slot array,
+    so the merged outcome — verdicts, violation indices, distinct-trace
+    and dedup counts — is deterministic and independent of how the domains
+    interleaved; only the wall-clock numbers vary. *)
+
+(** Per-case outcome, in enumeration order. *)
+type result = { fingerprint : string; ok : bool; detail : string; states : int }
+
+type stats = {
+  cases : int;  (** runs explored *)
+  distinct : int;  (** distinct execution fingerprints *)
+  dedup_hits : int;  (** [cases - distinct] *)
+  violations : int list;  (** failing case indices, ascending *)
+  states : int;  (** total process-round states simulated *)
+  elapsed : float;  (** wall-clock seconds *)
+  domains : int;
+}
+
+(** [run ~domains property cases] explores every case. [domains] defaults
+    to 1 and is clamped to [1..64]; asking for more domains than cores is
+    legal (merely oversubscribed). The returned [result] array is indexed
+    like [cases]. *)
+val run : ?domains:int -> Property.t -> Schedule_enum.t array -> stats * result array
+
+(** [Domain.recommended_domain_count ()]. *)
+val available : unit -> int
+
+val runs_per_sec : stats -> float
+val states_per_sec : stats -> float
+
+(** Dedup hits as a fraction of all runs, in [0, 1]. *)
+val dedup_rate : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit

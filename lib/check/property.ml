@@ -1,0 +1,211 @@
+open Ftss_util
+open Ftss_sync
+open Ftss_core
+open Ftss_protocols
+module S = Schedule_enum
+
+type verdict = { ok : bool; detail : string }
+type run = { fingerprint : string; states : int; verdict : verdict Lazy.t }
+
+type t = {
+  name : string;
+  inject : string;
+  restrict : S.params -> S.params;
+  run : S.t -> run;
+}
+
+(* A content digest; equal digests imply equal recorded executions, hence
+   equal verdicts (every predicate below is a pure function of the
+   execution). MD5's 128 bits keep accidental collisions out of reach of
+   any enumerable case count. *)
+let fingerprint v = Digest.string (Marshal.to_string v [])
+
+let no_restrict (params : S.params) = params
+
+(* --- Theorem 3: Figure 1 round agreement --- *)
+
+let theorem3 ?(inject = `None) () =
+  let protocol, inject_name =
+    match inject with
+    | `None -> (Round_agreement.protocol, "none")
+    | `Frozen_exchange ->
+      (* The exchange is severed: a process ignores every delivery and
+         counts on its own. Distinct corrupted round variables then never
+         reconcile — the mechanism Theorem 3 rests on, removed. *)
+      ( {
+          Round_agreement.protocol with
+          Protocol.name = "round-agreement!frozen-exchange";
+          step = (fun _ c _ -> c + 1);
+        },
+        "frozen-exchange" )
+  in
+  let run (case : S.t) =
+    let { S.n; rounds; _ } = case.S.params in
+    let faults = S.to_faults case in
+    let trace =
+      Runner.run
+        ~corrupt:(S.corrupt_int case.S.corruption)
+        ~faults ~rounds protocol
+    in
+    {
+      fingerprint = fingerprint trace;
+      states = n * rounds;
+      verdict =
+        lazy
+          (let stab = Round_agreement.stabilization_time in
+           let ok = Solve.ftss_solves Round_agreement.spec ~stabilization:stab trace in
+           let detail =
+             Format.asprintf
+               "ftss_solves %s stabilization=%d: %b (measured %d over %d stable windows, %d omissions)"
+               Round_agreement.spec.Spec.name stab ok
+               (Solve.measured_stabilization Round_agreement.spec trace)
+               (List.length (Solve.stable_windows trace))
+               (List.length trace.Trace.omissions)
+           in
+           { ok; detail });
+    }
+  in
+  { name = "theorem3"; inject = inject_name; restrict = no_restrict; run }
+
+(* --- Theorem 4: the Figure 3 compiler --- *)
+
+let theorem4 ?(suspect_filter = true) () =
+  let run (case : S.t) =
+    let { S.n; rounds; f; _ } = case.S.params in
+    let propose p = 50 + p in
+    (* With the filter on, Π is the intended compiler input under general
+       omission (suspect-filtered, f+2 rounds). The ablated variant feeds
+       the compiler *plain* flooding instead, as E8a does: omission
+       consensus's internal distrust would mask the removed filter. *)
+    let faults = S.to_faults case in
+    (* The trace's type depends on Π's state type, so everything derived
+       from it — fingerprint and verdict — is computed inside this
+       polymorphic helper; only monomorphic values escape. *)
+    let compile_and_run pi =
+      let compiled = Compiler.compile ~suspect_filter ~n pi in
+      let corrupt p (st : _ Compiler.state) =
+        { st with Compiler.c = S.corrupt_int case.S.corruption p st.Compiler.c }
+      in
+      let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let verdict =
+        lazy
+          (let valid d = d >= 50 && d < 50 + n in
+           let final_round = pi.Canonical.final_round in
+           let spec = Repeated.round_and_sigma ~final_round ~valid () in
+           let bound = Compiler.stabilization_bound pi in
+           let ok = Solve.ftss_solves spec ~stabilization:bound trace in
+           let completed, agreeing =
+             Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults)
+               ~valid
+           in
+           let detail =
+             Format.asprintf
+               "ftss_solves Σ⁺ stabilization=%d: %b (final_round %d, iterations %d, agreeing %d)"
+               bound ok final_round completed agreeing
+           in
+           { ok; detail })
+      in
+      { fingerprint = fingerprint trace; states = n * rounds; verdict }
+    in
+    if suspect_filter then compile_and_run (Omission_consensus.make ~n ~f ~propose)
+    else compile_and_run (Flooding_consensus.make ~f ~propose)
+  in
+  {
+    name = "theorem4";
+    inject = (if suspect_filter then "none" else "no-suspect-filter");
+    restrict = no_restrict;
+    run;
+  }
+
+(* --- Theorem 5: the Figure 4 transform, on the asynchronous simulator --- *)
+
+let theorem5 () =
+  let gst = 300 in
+  let run (case : S.t) =
+    let open Ftss_async in
+    let { S.n; rounds; _ } = case.S.params in
+    if not (S.crash_only case) then
+      invalid_arg "Property.theorem5: schedule has non-crash behaviours";
+    (* A crash at synchronous round r maps to simulated time 100·r, so
+       every enumerated crash lands before GST — the adversarial window. *)
+    let crashes = List.map (fun (p, r) -> (p, 100 * r)) (S.crashes case) in
+    let config =
+      {
+        (Sim.default_config ~n ~seed:1) with
+        Sim.gst;
+        horizon = 2500;
+        tick_interval = 10;
+        delay_before_gst = (1, 80);
+        delay_after_gst = (1, 5);
+        crashes;
+      }
+    in
+    let crashed p = List.assoc_opt p crashes in
+    let trusted =
+      match List.find_opt (fun p -> crashed p = None) (Pid.all n) with
+      | Some p -> p
+      | None -> assert false (* f < n leaves a correct process *)
+    in
+    let oracle = Ewfd.make (Rng.create 2) ~n ~crashed ~gst ~trusted ~noise:0.3 in
+    let corrupt =
+      (* Canonical corruption classes realised through the detector's own
+         corruption shape: the counter magnitude distribution. *)
+      match case.S.corruption with
+      | S.Clean -> None
+      | S.Zero -> Some (Esfd.corrupt (Rng.create 11) ~num_bound:1)
+      | S.Max -> Some (Esfd.corrupt (Rng.create 13) ~num_bound:1_000_000)
+      | S.Parked k -> Some (Esfd.corrupt (Rng.create 17) ~num_bound:(k + 1))
+      | S.Distinct -> Some (Esfd.corrupt (Rng.create 19) ~num_bound:997)
+    in
+    let corrupt = Option.map (fun c (_ : Pid.t) t -> c t) corrupt in
+    let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle) in
+    let report = Esfd.analyze result ~config ~trusted in
+    ignore rounds;
+    {
+      fingerprint =
+        fingerprint (report, result.Sim.delivered, result.Sim.end_time, result.Sim.log);
+      states = n * (config.Sim.horizon / config.Sim.tick_interval);
+      verdict =
+        lazy
+          (let show = function Some t -> string_of_int t | None -> "none" in
+           let ok = report.Esfd.convergence_time <> None in
+           let detail =
+             Format.asprintf
+               "◇S convergence: %s (completeness %s, accuracy %s, %d delivered)"
+               (show report.Esfd.convergence_time)
+               (show report.Esfd.completeness_from)
+               (show report.Esfd.accuracy_from) result.Sim.delivered
+           in
+           { ok; detail });
+    }
+  in
+  {
+    name = "theorem5";
+    inject = "none";
+    restrict = (fun params -> { params with S.intervals = false; drops = false });
+    run;
+  }
+
+let known =
+  [
+    ("theorem3", "none");
+    ("theorem3", "frozen-exchange");
+    ("theorem4", "none");
+    ("theorem4", "no-suspect-filter");
+    ("theorem5", "none");
+  ]
+
+let find ~name ~inject =
+  match (name, inject) with
+  | "theorem3", "none" -> Ok (theorem3 ())
+  | "theorem3", "frozen-exchange" -> Ok (theorem3 ~inject:`Frozen_exchange ())
+  | "theorem4", "none" -> Ok (theorem4 ())
+  | "theorem4", "no-suspect-filter" -> Ok (theorem4 ~suspect_filter:false ())
+  | "theorem5", "none" -> Ok (theorem5 ())
+  | _ ->
+    Error
+      (Printf.sprintf "unknown property/injection %s/%s (known: %s)" name inject
+         (String.concat ", "
+            (List.map (fun (p, i) -> Printf.sprintf "%s/%s" p i) known)))
+
+let fails t case = not (Lazy.force (t.run case).verdict).ok

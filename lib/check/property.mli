@@ -1,0 +1,64 @@
+(** The paper's theorems as checkable properties over enumerated cases.
+
+    A property packages: build the fault schedule and corruption of a
+    {!Schedule_enum.t} case, execute the protocol under it, fingerprint
+    the resulting execution (so {!Explore} can deduplicate isomorphic
+    runs), and — lazily, because deduplicated runs skip it — evaluate the
+    theorem's predicate.
+
+    Three properties are provided, one per machine-checkable theorem:
+
+    - [theorem3]: the Figure 1 round-agreement protocol ftss-solves
+      Assumption 1 with stabilization time 1 ({!Ftss_core.Solve.ftss_solves});
+    - [theorem4]: the Figure 3 compilation of suspect-filtered omission
+      consensus ftss-solves Σ⁺ within the [2·final_round] bound;
+    - [theorem5]: the Figure 4 ◇W → ◇S transform converges (strong
+      completeness + eventual weak accuracy) from corrupted detector
+      state, on the asynchronous simulator under the case's crash
+      schedule (the case must be crash-only; [restrict] arranges that).
+
+    {b Injections} deliberately break a mechanism so the explorer provably
+    finds (and {!Shrink} minimizes) a counterexample:
+
+    - ["frozen-exchange"] (theorem 3): processes ignore every delivery
+      and just increment — round agreement cannot reconcile distinct
+      corrupted round variables;
+    - ["no-suspect-filter"] (theorem 4): the Figure 3 suspect filter is
+      disabled, re-admitting §2.4's insidious out-of-date messages. *)
+
+type verdict = { ok : bool; detail : string }
+
+(** One executed case. [fingerprint] is a content digest of the recorded
+    execution: equal fingerprints imply equal verdicts, so the verdict of
+    a duplicate run may be reused without forcing [verdict]. [states] is
+    the number of process-round states the run simulated (the unit of the
+    explorer's throughput report). *)
+type run = { fingerprint : string; states : int; verdict : verdict Lazy.t }
+
+type t = {
+  name : string;
+  inject : string;  (** active injection, ["none"] when checking the paper *)
+  restrict : Schedule_enum.params -> Schedule_enum.params;
+      (** narrows the enumeration to the schedules the property can
+          interpret (e.g. crash-only for the asynchronous theorem 5) *)
+  run : Schedule_enum.t -> run;
+}
+
+(** [theorem3 ~inject:`Frozen_exchange ()] is the injected variant. *)
+val theorem3 : ?inject:[ `None | `Frozen_exchange ] -> unit -> t
+
+(** [theorem4 ~suspect_filter:false ()] is the injected variant. *)
+val theorem4 : ?suspect_filter:bool -> unit -> t
+
+val theorem5 : unit -> t
+
+(** All (property, injection) pairs accepted by {!find}. *)
+val known : (string * string) list
+
+(** [find ~name ~inject] resolves a CLI / replay-file selector, e.g.
+    [find ~name:"theorem3" ~inject:"frozen-exchange"]. *)
+val find : name:string -> inject:string -> (t, string) result
+
+(** [fails t case] forces the verdict and reports whether the case is a
+    counterexample. *)
+val fails : t -> Schedule_enum.t -> bool

@@ -1,0 +1,40 @@
+(** Replayable counterexample files.
+
+    A shrunk counterexample is serialized to a small S-expression text
+    format so it can be attached to a bug report and re-executed
+    deterministically with [ftss_cli replay FILE]. Example:
+
+    {v
+(ftss-counterexample
+ (version 1)
+ (property theorem3)
+ (inject frozen-exchange)
+ (params (n 3) (rounds 3) (f 1) (intervals true) (drops true))
+ (corruption distinct)
+ (schedule
+  (crash (pid 2) (round 1))
+  (mute (pid 0) (first 1) (last 2))))
+    v}
+
+    Parsing is strict: unknown properties, malformed clauses or
+    out-of-range pids/rounds are reported as [Error _], never guessed. *)
+
+type t = {
+  property : string;
+  inject : string;
+  case : Schedule_enum.t;
+}
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+
+(** [save path t] writes [to_string t] to [path]. *)
+val save : string -> t -> unit
+
+(** [load path] reads and parses [path]. *)
+val load : string -> (t, string) result
+
+(** [replay t] re-resolves the property and executes the case, returning
+    its verdict. [Ok v] with [v.ok = false] means the counterexample
+    reproduced. *)
+val replay : t -> (Property.verdict, string) result

@@ -1,0 +1,235 @@
+open Ftss_util
+module Faults = Ftss_sync.Faults
+
+type behavior =
+  | Crash of int
+  | Mute of int * int
+  | Deaf of int * int
+  | Isolate of int * int
+  | Send_drop of int * Pid.t
+  | Recv_drop of int * Pid.t
+
+type corruption = Clean | Zero | Max | Parked of int | Distinct
+
+type params = {
+  n : int;
+  rounds : int;
+  f : int;
+  intervals : bool;
+  drops : bool;
+}
+
+type t = {
+  params : params;
+  behaviors : (Pid.t * behavior) list;
+  corruption : corruption;
+}
+
+let validate { n; rounds; f; _ } =
+  if n < 2 then invalid_arg "Schedule_enum: n < 2";
+  if rounds < 1 then invalid_arg "Schedule_enum: rounds < 1";
+  if f < 0 || f >= n then invalid_arg "Schedule_enum: f outside 0..n-1"
+
+let intervals_per_kind rounds = rounds * (rounds + 1) / 2
+
+let behaviors_per_process { n; rounds; intervals; drops; _ } =
+  rounds
+  + (if intervals then 3 * intervals_per_kind rounds else 0)
+  + if drops then 2 * rounds * (n - 1) else 0
+
+let binomial n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let pow base e =
+  let acc = ref 1 in
+  for _ = 1 to e do
+    acc := !acc * base
+  done;
+  !acc
+
+let count_schedules params =
+  validate params;
+  let b = behaviors_per_process params in
+  let total = ref 0 in
+  for k = 0 to params.f do
+    total := !total + (binomial params.n k * pow b k)
+  done;
+  !total
+
+let corruptions params = [ Clean; Zero; Max; Parked params.rounds; Distinct ]
+
+let count params = count_schedules params * List.length (corruptions params)
+
+(* --- index decoding --- *)
+
+(* The j-th (a, b) interval with 1 <= a <= b <= rounds, intervals ordered
+   by a then b. *)
+let interval_of_index rounds j =
+  let rec skip a j =
+    let here = rounds - a + 1 in
+    if j < here then (a, a + j) else skip (a + 1) (j - here)
+  in
+  skip 1 j
+
+(* The d-th pid other than [pid] (0-based over the n-1 others). *)
+let other_of_index ~pid d = if d < pid then d else d + 1
+
+let behavior_of_index params ~pid i =
+  let { rounds; n; intervals; drops; _ } = params in
+  if i < rounds then Crash (i + 1)
+  else begin
+    let i = i - rounds in
+    let per_kind = intervals_per_kind rounds in
+    if intervals && i < 3 * per_kind then begin
+      let a, b = interval_of_index rounds (i mod per_kind) in
+      match i / per_kind with
+      | 0 -> Mute (a, b)
+      | 1 -> Deaf (a, b)
+      | _ -> Isolate (a, b)
+    end
+    else begin
+      let i = if intervals then i - (3 * per_kind) else i in
+      let per_dir = rounds * (n - 1) in
+      if not (drops && i < 2 * per_dir) then
+        invalid_arg "Schedule_enum: behaviour index out of range";
+      let dir = i / per_dir and j = i mod per_dir in
+      let round = (j / (n - 1)) + 1 in
+      let other = other_of_index ~pid (j mod (n - 1)) in
+      if dir = 0 then Send_drop (round, other) else Recv_drop (round, other)
+    end
+  end
+
+(* Lexicographic unranking of the k-subsets of [start .. n-1]. *)
+let rec unrank_subset ~n k rank start =
+  if k = 0 then []
+  else
+    let rec pick e rank =
+      let with_e = binomial (n - e - 1) (k - 1) in
+      if rank < with_e then e :: unrank_subset ~n (k - 1) rank (e + 1)
+      else pick (e + 1) (rank - with_e)
+    in
+    pick start rank
+
+let schedule_of_index params idx =
+  let b = behaviors_per_process params in
+  let rec locate k idx =
+    let block = binomial params.n k * pow b k in
+    if idx < block then (k, idx) else locate (k + 1) (idx - block)
+  in
+  let k, idx = locate 0 idx in
+  if k = 0 then []
+  else begin
+    let assignments = pow b k in
+    let subset = unrank_subset ~n:params.n k (idx / assignments) 0 in
+    let assign = idx mod assignments in
+    List.mapi
+      (fun j pid ->
+        let digit = assign / pow b (k - 1 - j) mod b in
+        (pid, behavior_of_index params ~pid digit))
+      subset
+  end
+
+let get params i =
+  validate params;
+  let ncorr = List.length (corruptions params) in
+  let total = count params in
+  if i < 0 || i >= total then
+    invalid_arg (Printf.sprintf "Schedule_enum.get: index %d outside 0..%d" i (total - 1));
+  {
+    params;
+    behaviors = schedule_of_index params (i / ncorr);
+    corruption = List.nth (corruptions params) (i mod ncorr);
+  }
+
+let enumerate params = Array.init (count params) (get params)
+let random rng params = get params (Rng.int rng (count params))
+
+let to_faults t =
+  let events =
+    List.concat_map
+      (fun (pid, behavior) ->
+        match behavior with
+        | Crash round -> [ Faults.Crash { pid; round } ]
+        | Mute (first, last) -> [ Faults.Mute { pid; first; last } ]
+        | Deaf (first, last) -> [ Faults.Deaf { pid; first; last } ]
+        | Isolate (first, last) -> [ Faults.Isolate { pid; first; last } ]
+        | Send_drop (round, dst) ->
+          [ Faults.Blame { pid }; Faults.Drop { src = pid; dst; round } ]
+        | Recv_drop (round, src) ->
+          [ Faults.Blame { pid }; Faults.Drop { src; dst = pid; round } ])
+      t.behaviors
+  in
+  Faults.of_events ~n:t.params.n events
+
+(* A prime far above every round horizon used in experiments, so Max
+   never collides with a legitimately reachable round variable. *)
+let huge = 999_983
+
+let corrupt_int corruption p v =
+  match corruption with
+  | Clean -> v
+  | Zero -> 0
+  | Max -> huge
+  | Parked k -> k
+  | Distinct -> 1 + ((p + 1) * 97)
+
+let crashes t =
+  List.filter_map
+    (fun (pid, b) -> match b with Crash r -> Some (pid, r) | _ -> None)
+    t.behaviors
+
+let crash_only t =
+  List.for_all (fun (_, b) -> match b with Crash _ -> true | _ -> false) t.behaviors
+
+let behavior_size ~rounds = function
+  | Crash r -> rounds - r + 1
+  | Mute (a, b) | Deaf (a, b) -> b - a + 1
+  | Isolate (a, b) -> 2 * (b - a + 1)
+  | Send_drop _ | Recv_drop _ -> 1
+
+let corruption_weight = function
+  | Clean -> 0
+  | Zero -> 1
+  | Parked _ -> 2
+  | Max -> 3
+  | Distinct -> 4
+
+let size t =
+  List.fold_left
+    (fun acc (_, b) -> acc + behavior_size ~rounds:t.params.rounds b)
+    (corruption_weight t.corruption)
+    t.behaviors
+
+let pp_behavior ~rounds ppf b =
+  match b with
+  | Crash r -> Format.fprintf ppf "crash@r%d(+%d)" r (rounds - r + 1)
+  | Mute (a, b) -> Format.fprintf ppf "mute[%d..%d]" a b
+  | Deaf (a, b) -> Format.fprintf ppf "deaf[%d..%d]" a b
+  | Isolate (a, b) -> Format.fprintf ppf "isolate[%d..%d]" a b
+  | Send_drop (r, dst) -> Format.fprintf ppf "send-drop@r%d->%a" r Pid.pp dst
+  | Recv_drop (r, src) -> Format.fprintf ppf "recv-drop@r%d<-%a" r Pid.pp src
+
+let pp_corruption ppf = function
+  | Clean -> Format.pp_print_string ppf "clean"
+  | Zero -> Format.pp_print_string ppf "zero"
+  | Max -> Format.pp_print_string ppf "max"
+  | Parked k -> Format.fprintf ppf "parked@%d" k
+  | Distinct -> Format.pp_print_string ppf "distinct"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>n=%d rounds=%d corruption=%a schedule={" t.params.n
+    t.params.rounds pp_corruption t.corruption;
+  List.iteri
+    (fun i (p, b) ->
+      if i > 0 then Format.fprintf ppf ", ";
+      Format.fprintf ppf "%a:%a" Pid.pp p (pp_behavior ~rounds:t.params.rounds) b)
+    t.behaviors;
+  Format.fprintf ppf "} size=%d@]" (size t)

@@ -1,0 +1,127 @@
+(** Bounded exhaustive enumeration of adversaries.
+
+    The theorem checks in E1-E10 sample randomized fault schedules, so a
+    "pass" is only as strong as the adversaries the RNG happened to draw.
+    The paper's claims (Theorems 3/4/5) quantify over {e all} schedules
+    with at most [f] general-omission-faulty processes and {e all} initial
+    states. For small parameters both spaces can be made finite and walked
+    completely:
+
+    - {b schedules}: each faulty process is assigned one adversarial
+      behaviour from a finite catalogue — a crash round, a send-omission
+      (mute) interval, a receive-omission (deaf) interval, a general-
+      omission (isolate) interval, or a single point send/receive drop —
+      and every subset of at most [f] processes is considered;
+    - {b corruptions}: arbitrary initial states are covered by canonical
+      corruption classes (clean, all-zero, all-maximal, parked at a common
+      round, per-pid-distinct) — the representative shapes systemic
+      failures take for round-variable-style state. The classes are
+      exhaustive up to the symmetries the protocols under test actually
+      distinguish: equal-everywhere values (any magnitude) and
+      distinct-everywhere values.
+
+    A {!t} (one schedule plus one corruption class) is called a {e case};
+    cases are indexable, so the whole space can be enumerated, counted in
+    closed form ({!count}), and sampled uniformly ({!random}) for
+    coverage comparisons. *)
+
+open Ftss_util
+
+(** One faulty process's behaviour. Rounds are 1-based. *)
+type behavior =
+  | Crash of int  (** crash at that round *)
+  | Mute of int * int  (** send omission over an inclusive round interval *)
+  | Deaf of int * int  (** receive omission over an inclusive interval *)
+  | Isolate of int * int  (** mute and deaf combined *)
+  | Send_drop of int * Pid.t  (** [(round, dst)]: drop the one message owner->dst *)
+  | Recv_drop of int * Pid.t  (** [(round, src)]: drop the one message src->owner *)
+
+(** Canonical corruption class applied to every process's initial state. *)
+type corruption =
+  | Clean  (** no systemic failure *)
+  | Zero  (** every round variable forced to 0 *)
+  | Max  (** every round variable forced to a huge common value *)
+  | Parked of int  (** every round variable parked at the given round *)
+  | Distinct  (** pairwise-distinct per-pid values *)
+
+type params = {
+  n : int;  (** system size *)
+  rounds : int;  (** schedule horizon (and simulated rounds) *)
+  f : int;  (** fault budget: schedules touch at most [f] processes *)
+  intervals : bool;  (** include mute/deaf/isolate interval behaviours *)
+  drops : bool;  (** include single point-drop behaviours *)
+}
+
+(** A case: a fault schedule (at most one behaviour per faulty process,
+    pids ascending) plus a corruption class. *)
+type t = {
+  params : params;
+  behaviors : (Pid.t * behavior) list;
+  corruption : corruption;
+}
+
+(** [validate params] raises [Invalid_argument] unless [n >= 2],
+    [rounds >= 1] and [0 <= f < n]. *)
+val validate : params -> unit
+
+(** Size of the per-process behaviour catalogue:
+    [rounds] crashes, plus (when [intervals]) [3 * rounds*(rounds+1)/2]
+    intervals, plus (when [drops]) [2 * rounds * (n-1)] point drops. *)
+val behaviors_per_process : params -> int
+
+(** Number of distinct schedules:
+    [sum_{k=0..f} C(n,k) * behaviors_per_process^k]. *)
+val count_schedules : params -> int
+
+(** The corruption classes explored: clean, zero, max, parked at
+    [params.rounds], distinct — 5 classes. *)
+val corruptions : params -> corruption list
+
+(** Total cases: [count_schedules * List.length corruptions]. *)
+val count : params -> int
+
+(** [get params i] is the [i]-th case, [0 <= i < count params].
+    Deterministic: equal arguments yield structurally equal cases. *)
+val get : params -> int -> t
+
+(** The whole space, [Array.init (count params) (get params)]. *)
+val enumerate : params -> t array
+
+(** [random rng params] draws a case uniformly from the enumerated space. *)
+val random : Rng.t -> params -> t
+
+(** Compile a case's schedule into a {!Ftss_sync.Faults.t}. Point drops
+    are charged to the behaviour's owner (a [Blame] event precedes the
+    [Drop]), so receive omissions blame the receiver as the paper's
+    general-omission model requires. *)
+val to_faults : t -> Ftss_sync.Faults.t
+
+(** [corrupt_int corruption p v] applies the class to an integer round
+    variable ([v] is the clean value, returned unchanged by [Clean]). *)
+val corrupt_int : corruption -> Pid.t -> int -> int
+
+(** [crashes t] is the [(pid, round)] crash events of the schedule, in
+    pid order — the projection used by the asynchronous (Theorem 5)
+    adapter. *)
+val crashes : t -> (Pid.t * int) list
+
+(** [crash_only t] is true iff every behaviour is a [Crash]. *)
+val crash_only : t -> bool
+
+(** {2 Sizes (the shrinking order)} *)
+
+(** Rounds of misbehaviour a behaviour schedules: a crash at round [r]
+    counts [rounds - r + 1], an interval its length (doubled for
+    [Isolate]), a point drop 1. *)
+val behavior_size : rounds:int -> behavior -> int
+
+(** [Clean] 0, [Zero] 1, [Parked _] 2, [Max] 3, [Distinct] 4. *)
+val corruption_weight : corruption -> int
+
+(** Total schedule size plus corruption weight — the measure
+    {!Shrink.shrink} strictly decreases. *)
+val size : t -> int
+
+val pp_behavior : rounds:int -> Format.formatter -> behavior -> unit
+val pp_corruption : Format.formatter -> corruption -> unit
+val pp : Format.formatter -> t -> unit

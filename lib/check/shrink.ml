@@ -1,0 +1,48 @@
+module S = Schedule_enum
+
+let weakenings ~rounds = function
+  | S.Isolate (a, b) -> [ S.Mute (a, b); S.Deaf (a, b) ]
+  | S.Mute (a, b) when a < b -> [ S.Mute (a + 1, b); S.Mute (a, b - 1) ]
+  | S.Deaf (a, b) when a < b -> [ S.Deaf (a + 1, b); S.Deaf (a, b - 1) ]
+  | S.Crash r when r < rounds -> [ S.Crash (r + 1) ]
+  | S.Crash _ | S.Mute _ | S.Deaf _ | S.Send_drop _ | S.Recv_drop _ -> []
+
+(* Every element of [xs] with the i-th entry replaced by each of
+   [replacements i x], one at a time. *)
+let pointwise xs replacements =
+  List.concat
+    (List.mapi
+       (fun i x ->
+         List.map
+           (fun x' -> List.mapi (fun j y -> if i = j then x' else y) xs)
+           (replacements x))
+       xs)
+
+let candidates (case : S.t) =
+  let rounds = case.S.params.S.rounds in
+  let removals =
+    List.mapi
+      (fun i _ ->
+        { case with S.behaviors = List.filteri (fun j _ -> j <> i) case.S.behaviors })
+      case.S.behaviors
+  in
+  let downgrades =
+    List.filter_map
+      (fun c ->
+        if S.corruption_weight c < S.corruption_weight case.S.corruption then
+          Some { case with S.corruption = c }
+        else None)
+      (S.corruptions case.S.params)
+  in
+  let weakened =
+    List.map
+      (fun behaviors -> { case with S.behaviors })
+      (pointwise case.S.behaviors (fun (p, b) ->
+           List.map (fun b' -> (p, b')) (weakenings ~rounds b)))
+  in
+  removals @ downgrades @ weakened
+
+let rec shrink ~property case =
+  match List.find_opt (Property.fails property) (candidates case) with
+  | Some smaller -> shrink ~property smaller
+  | None -> case

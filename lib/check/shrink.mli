@@ -1,0 +1,19 @@
+(** Delta-debugging of a failing case to a minimal counterexample.
+
+    Greedy descent over strictly-size-decreasing reductions: drop a
+    behaviour, weaken one (isolate → mute/deaf, trim an interval from
+    either end, postpone a crash), or downgrade the corruption class.
+    Each accepted reduction must still falsify the property, so the
+    result falsifies it too and [Schedule_enum.size] never increases;
+    strict decrease guarantees termination. The candidate order is fixed,
+    so shrinking is deterministic. *)
+
+(** The strictly smaller cases tried from [case], in the order tried:
+    behaviour removals, then corruption downgrades, then behaviour
+    weakenings. *)
+val candidates : Schedule_enum.t -> Schedule_enum.t list
+
+(** [shrink ~property case] requires [Property.fails property case] and
+    returns a minimal (no candidate still fails) failing case of size
+    [<= Schedule_enum.size case]. *)
+val shrink : property:Property.t -> Schedule_enum.t -> Schedule_enum.t

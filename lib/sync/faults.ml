@@ -6,6 +6,7 @@ type event =
   | Mute of { pid : Pid.t; first : int; last : int }
   | Deaf of { pid : Pid.t; first : int; last : int }
   | Isolate of { pid : Pid.t; first : int; last : int }
+  | Blame of { pid : Pid.t }
 
 type t = {
   n : int;
@@ -87,6 +88,9 @@ let of_events ~n events =
       mark pid;
       t.mute.(pid) <- (first, last) :: t.mute.(pid);
       t.deaf.(pid) <- (first, last) :: t.deaf.(pid)
+    | Blame { pid } ->
+      check_pid ~n pid;
+      mark pid
   in
   List.iter absorb events;
   { t with faulty = !faulty }

@@ -23,6 +23,12 @@ type event =
           [first..last] are omitted (receive omission). *)
   | Isolate of { pid : Pid.t; first : int; last : int }
       (** [Mute] and [Deaf] combined: general omission. *)
+  | Blame of { pid : Pid.t }
+      (** Declare [pid] faulty without scheduling any misbehaviour. Used
+          when the culprit of a point [Drop] is the {e receiver} (a
+          receive omission): [of_events] alone would blame the sender, so
+          a schedule charging the drop to its destination lists
+          [Blame dst] ahead of the [Drop]. *)
 
 type t
 

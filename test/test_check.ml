@@ -1,0 +1,263 @@
+(* Tests for the ftss_check model-checker: closed-form enumeration
+   counts, index decoding, fault compilation, explorer determinism
+   across domain counts, shrinking, and counterexample replay files. *)
+
+open Ftss_util
+open Ftss_check
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let to_alcotest = QCheck_alcotest.to_alcotest
+
+let full n rounds f = { Schedule_enum.n; rounds; f; intervals = true; drops = true }
+
+let crash_only_params n rounds f =
+  { Schedule_enum.n; rounds; f; intervals = false; drops = false }
+
+let theorem3 ~inject =
+  match Property.find ~name:"theorem3" ~inject with
+  | Ok p -> p
+  | Error msg -> failwith msg
+
+(* --- Closed-form counts --- *)
+
+let test_counts () =
+  (* n=3, rounds=3, f=1: 3 crashes + 3*(3*4/2)=18 intervals +
+     2*3*(3-1)=12 point drops = 33 behaviours per process;
+     schedules = C(3,0) + C(3,1)*33 = 100; cases = 100 * 5. *)
+  let p = full 3 3 1 in
+  check_int "behaviours (3,3,1)" 33 (Schedule_enum.behaviors_per_process p);
+  check_int "schedules (3,3,1)" 100 (Schedule_enum.count_schedules p);
+  check_int "corruption classes" 5 (List.length (Schedule_enum.corruptions p));
+  check_int "cases (3,3,1)" 500 (Schedule_enum.count p);
+  (* Crash-only: 3 behaviours; 1 + 3*3 = 10 schedules; 50 cases. *)
+  let p = crash_only_params 3 3 1 in
+  check_int "crash-only behaviours" 3 (Schedule_enum.behaviors_per_process p);
+  check_int "crash-only schedules" 10 (Schedule_enum.count_schedules p);
+  check_int "crash-only cases" 50 (Schedule_enum.count p);
+  (* n=4, rounds=2, f=2: 2 + 3*(2*3/2)=9 + 2*2*3=12 = 23 behaviours;
+     schedules = 1 + 4*23 + C(4,2)*23^2 = 3267. *)
+  let p = full 4 2 2 in
+  check_int "behaviours (4,2,2)" 23 (Schedule_enum.behaviors_per_process p);
+  check_int "schedules (4,2,2)" 3267 (Schedule_enum.count_schedules p);
+  check_int "cases (4,2,2)" 16335 (Schedule_enum.count p)
+
+let test_enumerate_matches_count () =
+  List.iter
+    (fun p ->
+      check_int "enumerate length" (Schedule_enum.count p)
+        (Array.length (Schedule_enum.enumerate p)))
+    [ full 3 3 1; full 3 2 2; crash_only_params 4 3 2 ]
+
+let test_cases_distinct_and_within_budget () =
+  let p = full 3 3 1 in
+  let cases = Schedule_enum.enumerate p in
+  let seen = Hashtbl.create (Array.length cases) in
+  Array.iter
+    (fun (c : Schedule_enum.t) ->
+      Hashtbl.replace seen c ();
+      check "budget" true (List.length c.Schedule_enum.behaviors <= p.Schedule_enum.f);
+      let pids = List.map fst c.Schedule_enum.behaviors in
+      check "pids ascending" true (List.sort_uniq compare pids = pids))
+    cases;
+  check_int "all cases structurally distinct" (Array.length cases) (Hashtbl.length seen)
+
+let test_get_deterministic () =
+  let p = full 4 2 2 in
+  for i = 0 to Schedule_enum.count p - 1 do
+    if Schedule_enum.get p i <> Schedule_enum.get p i then
+      Alcotest.failf "get %d not deterministic" i
+  done
+
+let test_to_faults_budget () =
+  let p = full 3 3 1 in
+  Array.iter
+    (fun c ->
+      let faults = Schedule_enum.to_faults c in
+      check "declared faulty within budget" true
+        (Pidset.cardinal (Ftss_sync.Faults.faulty faults) <= p.Schedule_enum.f))
+    (Schedule_enum.enumerate p)
+
+let test_corrupt_int_classes () =
+  let n = 4 in
+  let pids = Pid.all n in
+  check_int "clean is identity" 7 (Schedule_enum.corrupt_int Schedule_enum.Clean 2 7);
+  List.iter
+    (fun q -> check_int "zero" 0 (Schedule_enum.corrupt_int Schedule_enum.Zero q 7))
+    pids;
+  let distinct = List.map (fun q -> Schedule_enum.corrupt_int Schedule_enum.Distinct q 7) pids in
+  check_int "distinct values pairwise distinct" n
+    (List.length (List.sort_uniq compare distinct))
+
+(* --- Explorer: determinism across domain counts --- *)
+
+let test_explore_deterministic_across_domains () =
+  let p = full 3 3 1 in
+  let cases = Schedule_enum.enumerate p in
+  let prop = theorem3 ~inject:"frozen-exchange" in
+  let s1, r1 = Explore.run ~domains:1 prop cases in
+  let s2, r2 = Explore.run ~domains:2 prop cases in
+  check_int "same distinct" s1.Explore.distinct s2.Explore.distinct;
+  check "same violations" true (s1.Explore.violations = s2.Explore.violations);
+  check "same fingerprints and verdicts" true
+    (Array.for_all2
+       (fun (a : Explore.result) (b : Explore.result) ->
+         a.Explore.fingerprint = b.Explore.fingerprint && a.Explore.ok = b.Explore.ok)
+       r1 r2);
+  check_int "dedup accounting" s1.Explore.cases
+    (s1.Explore.distinct + s1.Explore.dedup_hits)
+
+let test_theorem3_holds_exhaustively () =
+  let cases = Schedule_enum.enumerate (full 3 2 1) in
+  let stats, _ = Explore.run (theorem3 ~inject:"none") cases in
+  check "no violations" true (stats.Explore.violations = [])
+
+(* --- Shrinking --- *)
+
+let failing_cases prop cases =
+  Array.to_list cases |> List.filter (Property.fails prop)
+
+let test_shrink_reaches_minimum () =
+  let prop = theorem3 ~inject:"frozen-exchange" in
+  let cases = Schedule_enum.enumerate (full 3 3 1) in
+  match failing_cases prop cases with
+  | [] -> Alcotest.fail "frozen-exchange injection found no violations"
+  | failures ->
+    List.iter
+      (fun case ->
+        let small = Shrink.shrink ~property:prop case in
+        check "shrunk still fails" true (Property.fails prop small);
+        check "shrunk no larger" true
+          (Schedule_enum.size small <= Schedule_enum.size case);
+        (* Frozen exchange only breaks reconciliation of distinct round
+           variables, so every counterexample bottoms out at the pure
+           systemic failure: empty schedule, distinct corruption. *)
+        check "minimal schedule" true (small.Schedule_enum.behaviors = []);
+        check "minimal corruption" true
+          (small.Schedule_enum.corruption = Schedule_enum.Distinct))
+      failures
+
+let test_candidates_strictly_smaller () =
+  let case =
+    {
+      Schedule_enum.params = full 3 3 1;
+      behaviors = [ (1, Schedule_enum.Isolate (1, 3)) ];
+      corruption = Schedule_enum.Max;
+    }
+  in
+  List.iter
+    (fun c ->
+      check "candidate strictly smaller" true
+        (Schedule_enum.size c < Schedule_enum.size case))
+    (Shrink.candidates case)
+
+(* --- Replay files --- *)
+
+let roundtrip t =
+  match Replay.of_string (Replay.to_string t) with
+  | Ok t' -> check "replay roundtrip" true (t = t')
+  | Error msg -> Alcotest.failf "replay parse failed: %s" msg
+
+let test_replay_roundtrip_all_behaviours () =
+  let params = full 4 3 2 in
+  let mk behaviors corruption =
+    { Replay.property = "theorem3"; inject = "none";
+      case = { Schedule_enum.params; behaviors; corruption } }
+  in
+  List.iter roundtrip
+    [
+      mk [] Schedule_enum.Clean;
+      mk [ (0, Schedule_enum.Crash 2) ] Schedule_enum.Zero;
+      mk [ (1, Schedule_enum.Mute (1, 3)) ] Schedule_enum.Max;
+      mk [ (2, Schedule_enum.Deaf (2, 2)) ] (Schedule_enum.Parked 2);
+      mk [ (3, Schedule_enum.Isolate (1, 2)) ] Schedule_enum.Distinct;
+      mk
+        [ (0, Schedule_enum.Send_drop (3, 1)); (2, Schedule_enum.Recv_drop (1, 3)) ]
+        Schedule_enum.Distinct;
+    ]
+
+let test_replay_rejects_malformed () =
+  let reject label s =
+    match Replay.of_string s with
+    | Ok _ -> Alcotest.failf "%s: accepted" label
+    | Error _ -> ()
+  in
+  reject "garbage" "(not-a-counterexample)";
+  reject "unknown property"
+    "(ftss-counterexample (version 1) (property theoremX) (inject none)\n\
+    \ (params (n 3) (rounds 3) (f 1) (intervals true) (drops true))\n\
+    \ (corruption clean) (schedule))";
+  reject "pid out of range"
+    "(ftss-counterexample (version 1) (property theorem3) (inject none)\n\
+    \ (params (n 3) (rounds 3) (f 1) (intervals true) (drops true))\n\
+    \ (corruption clean) (schedule (crash (pid 7) (round 1))))";
+  reject "fault budget exceeded"
+    "(ftss-counterexample (version 1) (property theorem3) (inject none)\n\
+    \ (params (n 3) (rounds 3) (f 1) (intervals true) (drops true))\n\
+    \ (corruption clean)\n\
+    \ (schedule (crash (pid 0) (round 1)) (crash (pid 1) (round 1))))"
+
+let test_replay_reproduces () =
+  let prop = theorem3 ~inject:"frozen-exchange" in
+  let cases = Schedule_enum.enumerate (full 3 3 1) in
+  match failing_cases prop cases with
+  | [] -> Alcotest.fail "no violation to replay"
+  | case :: _ ->
+    let t =
+      { Replay.property = "theorem3"; inject = "frozen-exchange";
+        case = Shrink.shrink ~property:prop case }
+    in
+    (match Replay.of_string (Replay.to_string t) with
+    | Error msg -> Alcotest.failf "parse: %s" msg
+    | Ok t' -> (
+      match Replay.replay t' with
+      | Ok v -> check "counterexample reproduces" false v.Property.ok
+      | Error msg -> Alcotest.failf "replay: %s" msg))
+
+(* --- QCheck: shrinking from random failing cases --- *)
+
+let prop_shrink_preserves_failure =
+  let prop = theorem3 ~inject:"frozen-exchange" in
+  let params = full 3 3 1 in
+  QCheck.Test.make ~name:"shrunk counterexamples still falsify, no larger" ~count:60
+    QCheck.(int_range 0 (Schedule_enum.count params - 1))
+    (fun i ->
+      let case = Schedule_enum.get params i in
+      QCheck.assume (Property.fails prop case);
+      let small = Shrink.shrink ~property:prop case in
+      Property.fails prop small
+      && Schedule_enum.size small <= Schedule_enum.size case)
+
+let prop_random_draws_in_space =
+  QCheck.Test.make ~name:"random draws decode to valid cases" ~count:200
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let params = full 3 3 1 in
+      let case = Schedule_enum.random (Rng.create seed) params in
+      List.length case.Schedule_enum.behaviors <= params.Schedule_enum.f
+      && List.mem case.Schedule_enum.corruption (Schedule_enum.corruptions params))
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "check",
+      [
+        tc "closed-form counts" `Quick test_counts;
+        tc "enumerate length = count" `Quick test_enumerate_matches_count;
+        tc "cases distinct, within budget" `Quick test_cases_distinct_and_within_budget;
+        tc "get is deterministic" `Quick test_get_deterministic;
+        tc "to_faults respects budget" `Quick test_to_faults_budget;
+        tc "corruption classes" `Quick test_corrupt_int_classes;
+        tc "explorer deterministic across domains" `Quick
+          test_explore_deterministic_across_domains;
+        tc "theorem 3 holds exhaustively (n=3,r=2,f=1)" `Quick
+          test_theorem3_holds_exhaustively;
+        tc "shrink reaches the minimal counterexample" `Slow test_shrink_reaches_minimum;
+        tc "shrink candidates strictly smaller" `Quick test_candidates_strictly_smaller;
+        tc "replay roundtrip covers every clause" `Quick test_replay_roundtrip_all_behaviours;
+        tc "replay rejects malformed input" `Quick test_replay_rejects_malformed;
+        tc "replayed counterexample reproduces" `Quick test_replay_reproduces;
+        to_alcotest prop_shrink_preserves_failure;
+        to_alcotest prop_random_draws_in_space;
+      ] );
+  ]
