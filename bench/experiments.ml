@@ -6,6 +6,7 @@ open Ftss_util
 open Ftss_sync
 open Ftss_core
 open Ftss_protocols
+module M = Ftss_obs.Metrics
 
 let trials = 25
 
@@ -13,7 +14,7 @@ let trials = 25
 (* E1 — Figure 1 / Theorem 3: round agreement stabilizes in 1 round.   *)
 (* ------------------------------------------------------------------ *)
 
-let e1 () =
+let e1 m =
   let table =
     Table.create
       ~title:
@@ -35,10 +36,14 @@ let e1 () =
                 ~corrupt:(Round_agreement.corrupt_uniform rng ~bound)
                 ~faults ~rounds Round_agreement.protocol
             in
-            measured :=
-              float_of_int (Solve.measured_stabilization Round_agreement.spec trace)
-              :: !measured;
-            if Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace then incr holds
+            let d = float_of_int (Solve.measured_stabilization Round_agreement.spec trace) in
+            measured := d :: !measured;
+            M.observe (M.histogram m "measured_stabilization") d;
+            M.inc (M.counter m "trials");
+            if Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace then begin
+              incr holds;
+              M.inc (M.counter m "ftss_holds")
+            end
           done;
           Table.add_row table
             [
@@ -57,7 +62,7 @@ let e1 () =
 (* E2 — Figures 2-3 / Theorem 4: the compiler.                         *)
 (* ------------------------------------------------------------------ *)
 
-let e2 () =
+let e2 m =
   let table =
     Table.create
       ~title:
@@ -84,13 +89,17 @@ let e2 () =
         in
         let trace = Runner.run ~corrupt ~faults ~rounds compiled in
         let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
-        measured := float_of_int (Solve.measured_stabilization spec trace) :: !measured;
+        let d = float_of_int (Solve.measured_stabilization spec trace) in
+        measured := d :: !measured;
+        M.observe (M.histogram m "measured_stabilization") d;
         if Solve.ftss_solves spec ~stabilization:bound trace then incr holds;
         let completed, agreeing =
           Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
         in
         total_iters := !total_iters + completed;
-        agreeing_iters := !agreeing_iters + agreeing
+        agreeing_iters := !agreeing_iters + agreeing;
+        M.add (M.counter m "iterations") completed;
+        M.add (M.counter m "agreeing_iterations") agreeing
       done;
       Table.add_row table
         [
@@ -109,7 +118,7 @@ let e2 () =
 (* E3 — Theorem 1: the impossibility scenario.                          *)
 (* ------------------------------------------------------------------ *)
 
-let e3 () =
+let e3 m =
   let table =
     Table.create
       ~title:
@@ -120,6 +129,7 @@ let e3 () =
   List.iter
     (fun (isolation, c_p, c_q) ->
       let r = Impossibility.Theorem1.run ~isolation ~c_p ~c_q ~suffix:10 in
+      if Impossibility.Theorem1.confirms_theorem r then M.inc (M.counter m "theorem1_confirmed");
       Table.add_row table
         [
           string_of_int isolation;
@@ -147,6 +157,7 @@ let e3 () =
     (fun (n, f) ->
       let rounds = 25 in
       let r = Impossibility.Kp90.run ~n ~f ~rounds in
+      if Impossibility.Kp90.confirms_claim r then M.inc (M.counter m "kp90_confirmed");
       kp90 |> fun t ->
       Table.add_row t
         [
@@ -164,7 +175,7 @@ let e3 () =
 (* E4 — Theorem 2: uniformity impossibility.                            *)
 (* ------------------------------------------------------------------ *)
 
-let e4 () =
+let e4 m =
   let table =
     Table.create
       ~title:
@@ -178,6 +189,7 @@ let e4 () =
         Impossibility.Theorem2.run ~silence_threshold:threshold ~c_p:13 ~c_q:2
           ~rounds:(threshold + 8)
       in
+      if Impossibility.Theorem2.confirms_theorem r then M.inc (M.counter m "theorem2_confirmed");
       Table.add_row table
         [
           string_of_int threshold;
@@ -193,7 +205,7 @@ let e4 () =
 (* E5 — Figure 4 / Theorem 5: the ◇W → ◇S transform.                    *)
 (* ------------------------------------------------------------------ *)
 
-let e5 () =
+let e5 m =
   let open Ftss_async in
   let table =
     Table.create
@@ -232,10 +244,13 @@ let e5 () =
               if num_bound = 0 then None
               else Some (fun _ t -> Esfd.corrupt rng ~num_bound t)
             in
-            let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle) in
+            let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle ()) in
+            M.inc (M.counter m "trials");
             match (Esfd.analyze result ~config ~trusted).Esfd.convergence_time with
             | Some t ->
               incr converged;
+              M.inc (M.counter m "converged");
+              M.observe (M.histogram m "convergence_after_gst") (float_of_int (max 0 (t - gst)));
               convs := float_of_int (max 0 (t - gst)) :: !convs
             | None -> ()
           done;
@@ -257,7 +272,7 @@ let e5 () =
 (* E6 — §3: asynchronous repeated consensus, ss vs baseline.            *)
 (* ------------------------------------------------------------------ *)
 
-let e6 () =
+let e6 m =
   let open Ftss_async in
   let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
   let table =
@@ -292,7 +307,7 @@ let e6 () =
              ~round_bound:30 ~value_bound:90)
       | `Parked -> Some (Consensus.corrupt_parked ~round:6)
     in
-    let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle) in
+    let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle ()) in
     (config, result)
   in
   List.iter
@@ -304,6 +319,10 @@ let e6 () =
           let ds = Consensus.decisions result in
           let grouped = Consensus.per_instance ds ~correct in
           let stab = Consensus.stabilization_time result ~correct ~propose ~n in
+          M.add (M.counter m "decided_instances") (List.length grouped);
+          (match stab with
+          | Some t -> M.observe (M.histogram m "stabilized_at") (float_of_int t)
+          | None -> M.inc (M.counter m "never_stabilized"));
           Table.add_row table
             [
               style_name;
@@ -324,7 +343,7 @@ let e6 () =
 (* E7 — §2.3: destabilization by late revelation; re-stabilization.     *)
 (* ------------------------------------------------------------------ *)
 
-let e7 () =
+let e7 m =
   let table =
     Table.create
       ~title:
@@ -346,6 +365,7 @@ let e7 () =
       let windows = Solve.stable_windows trace in
       let measured = Solve.measured_stabilization Round_agreement.spec trace in
       let holds = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+      M.observe (M.histogram m "measured_stabilization") (float_of_int measured);
       Table.add_row table
         [
           "round-agreement";
@@ -373,6 +393,7 @@ let e7 () =
       let windows = Solve.stable_windows trace in
       let measured = Solve.measured_stabilization Round_agreement.spec trace in
       let holds = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+      M.observe (M.histogram m "measured_stabilization") (float_of_int measured);
       Table.add_row table
         [
           "round-agreement (partial reveal)";
@@ -398,6 +419,7 @@ let e7 () =
       let windows = Solve.stable_windows trace in
       let measured = Solve.measured_stabilization Round_agreement.spec trace in
       let holds = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+      M.observe (M.histogram m "measured_stabilization") (float_of_int measured);
       Table.add_row table
         [
           "round-agreement (rolling mute)";
@@ -430,6 +452,7 @@ let e7 () =
       let holds =
         Solve.ftss_solves spec ~stabilization:(Compiler.stabilization_bound pi) trace
       in
+      M.observe (M.histogram m "measured_stabilization") (float_of_int measured);
       Table.add_row table
         [
           "compiled consensus";
@@ -455,7 +478,7 @@ let e7 () =
    suspect set and its state is ignored symmetrically. Without the
    filter, one correct process decides q's stale minimum and the other
    does not: agreement breaks in iteration after iteration, forever. *)
-let e8_compiler () =
+let e8_compiler m =
   let table =
     Table.create
       ~title:
@@ -502,6 +525,9 @@ let e8_compiler () =
       let completed, agreeing =
         Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
       in
+      M.set
+        (M.gauge m (Printf.sprintf "e8a_agreeing.filter=%b" suspect_filter))
+        (float_of_int agreeing);
       Table.add_row table
         [
           string_of_bool suspect_filter;
@@ -518,7 +544,7 @@ let e8_compiler () =
    what dissolves the parked deadlock; round agreement is what lets
    processes scattered across (instance, round) positions find each
    other. The paper's protocol needs both. *)
-let e8_consensus () =
+let e8_consensus m =
   let open Ftss_async in
   let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
   let table =
@@ -554,29 +580,37 @@ let e8_consensus () =
              ~round_bound:30 ~value_bound:90)
       | `Parked -> Some (Consensus.corrupt_parked ~round:6)
     in
-    let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle) in
+    let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle ()) in
     let correct = Sim.correct_set config in
     Consensus.fully_decided_after (Consensus.decisions result) ~correct
       ~from:config.Sim.gst
   in
   List.iter
     (fun style ->
-      let cell corruption = string_of_int (run ~style ~corruption ~seed:9) in
+      let cell name corruption =
+        let v = run ~style ~corruption ~seed:9 in
+        M.set
+          (M.gauge m
+             (Printf.sprintf "e8b_decided.rt=%b,ra=%b.%s" style.Consensus.retransmit
+                style.Consensus.round_agreement name))
+          (float_of_int v);
+        string_of_int v
+      in
       Table.add_row table
         [
           string_of_bool style.Consensus.retransmit;
           string_of_bool style.Consensus.round_agreement;
-          cell `None;
-          cell `Parked;
-          cell `Random;
+          cell "clean" `None;
+          cell "parked" `Parked;
+          cell "random" `Random;
         ])
     Consensus.[ baseline; retransmit_only; round_agreement_only; self_stabilizing ];
   Table.print table
 
-let e8 () =
-  e8_compiler ();
+let e8 m =
+  e8_compiler m;
   print_newline ();
-  e8_consensus ()
+  e8_consensus m
 
 (* ------------------------------------------------------------------ *)
 (* E9 — the oracle-free detector stack (extension).                     *)
@@ -587,7 +621,7 @@ let e8 () =
    implement ◇W, Figure 4 transforms it to ◇S, and the whole stack —
    with deadlines, timeouts and num/state tables all corrupted — still
    converges. *)
-let e9 () =
+let e9 m =
   let open Ftss_async in
   let table =
     Table.create
@@ -628,9 +662,12 @@ let e9 () =
               Sim.run ?corrupt config
                 (Detector_stack.process ~n ~initial_timeout:30 ~backoff:20)
             in
+            M.inc (M.counter m "trials");
             match (Detector_stack.analyze result ~config).Detector_stack.convergence_time with
             | Some t ->
               incr converged;
+              M.inc (M.counter m "converged");
+              M.observe (M.histogram m "convergence_after_gst") (float_of_int (max 0 (t - gst)));
               convs := float_of_int (max 0 (t - gst)) :: !convs
             | None -> ()
           done;
@@ -652,7 +689,7 @@ let e9 () =
 (* E10 — §3 remark: synchronous but not perfectly synchronized.         *)
 (* ------------------------------------------------------------------ *)
 
-let e10 () =
+let e10 m =
   let open Ftss_async in
   let table =
     Table.create
@@ -683,7 +720,11 @@ let e10 () =
           Sim.run ~corrupt:(Drift.corrupt rng ~bound:1_000_000) config Drift.process
         in
         let report = Drift.analyze result ~config in
-        if report.Drift.converged_from <> None then incr converged;
+        if report.Drift.converged_from <> None then begin
+          incr converged;
+          M.inc (M.counter m "converged")
+        end;
+        M.observe (M.histogram m "final_spread") (float_of_int report.Drift.final_spread);
         worst := max !worst report.Drift.final_spread
       done;
       Table.add_row table
@@ -704,7 +745,7 @@ let e10 () =
 (* sampling, with parallel-explorer speedup.                            *)
 (* ------------------------------------------------------------------ *)
 
-let e11 () =
+let e11 m =
   let open Ftss_check in
   let table =
     Table.create
@@ -745,6 +786,9 @@ let e11 () =
           stats1.Explore.elapsed /. stats_n.Explore.elapsed
         else 0.
       in
+      M.add (M.counter m "cases") total;
+      M.add (M.counter m "states") stats1.Explore.states;
+      M.observe (M.histogram m "speedup") speedup;
       Table.add_row table
         [
           name; inject; string_of_int n; string_of_int rounds; string_of_int f;

@@ -1,7 +1,8 @@
 (* Benchmark harness: regenerates every experiment table (E1-E7, one per
    figure/theorem of the paper — see DESIGN.md's per-experiment index and
    EXPERIMENTS.md for paper-claim vs measured) and runs the bechamel
-   microbenchmark suite (M1).
+   microbenchmark suite (M1). Each experiment also writes its headline
+   aggregates as BENCH_<name>.json in the working directory.
 
    Usage:
      dune exec bench/main.exe            # everything
@@ -10,12 +11,34 @@
 
 let () =
   let requested = List.tl (Array.to_list Sys.argv) in
+  let valid = List.map fst Experiments.all @ [ "M1" ] in
+  let unknown = List.filter (fun r -> not (List.mem r valid)) requested in
+  if unknown <> [] then begin
+    Printf.eprintf "bench: unknown experiment%s: %s\nvalid names: %s\n"
+      (if List.length unknown = 1 then "" else "s")
+      (String.concat ", " unknown)
+      (String.concat " " valid);
+    exit 2
+  end;
   let wanted name = requested = [] || List.mem name requested in
+  let with_metrics name experiment =
+    let m = Ftss_obs.Metrics.create () in
+    let t0 = Unix.gettimeofday () in
+    experiment m;
+    Ftss_obs.Metrics.set
+      (Ftss_obs.Metrics.gauge m "elapsed_seconds")
+      (Unix.gettimeofday () -. t0);
+    let path = Printf.sprintf "BENCH_%s.json" name in
+    let oc = open_out path in
+    output_string oc (Ftss_obs.Json.to_string (Ftss_obs.Metrics.to_json m));
+    output_char oc '\n';
+    close_out oc
+  in
   List.iter
     (fun (name, experiment) ->
       if wanted name then begin
-        experiment ();
+        with_metrics name experiment;
         print_newline ()
       end)
     Experiments.all;
-  if wanted "M1" then Microbench.run ()
+  if wanted "M1" then with_metrics "M1" Microbench.run

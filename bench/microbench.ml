@@ -62,7 +62,7 @@ let async_consensus_run ~n =
     (Staged.stage (fun () ->
          ignore
            (Sim.run config
-              (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose ~oracle))))
+              (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose ~oracle ()))))
 
 let explorer_throughput ~domains =
   let open Ftss_check in
@@ -97,7 +97,7 @@ let tests =
       explorer_throughput ~domains:(max 2 (Ftss_check.Explore.available ()));
     ]
 
-let run () =
+let run m =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
@@ -122,6 +122,10 @@ let run () =
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
   in
   List.iter
-    (fun (name, est) -> Table.add_row table [ name; Printf.sprintf "%.0f" est ])
+    (fun (name, est) ->
+      Ftss_obs.Metrics.set
+        (Ftss_obs.Metrics.gauge m (Printf.sprintf "ns_per_call.%s" name))
+        est;
+      Table.add_row table [ name; Printf.sprintf "%.0f" est ])
     rows;
   Table.print table

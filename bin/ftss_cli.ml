@@ -39,17 +39,59 @@ let p_drop_arg =
     & opt float 0.4
     & info [ "p-drop" ] ~docv:"P" ~doc:"Per-link omission probability for faulty links.")
 
+
+(* --- observability options (every subcommand) --- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE.jsonl"
+        ~doc:"Write the run's structured event trace as JSON Lines to $(docv).")
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE.json"
+        ~doc:"Write the metrics registry snapshot as JSON to $(docv).")
+
+(* Builds the hub (when either output was requested), runs [f] with it,
+   then flushes the trace sink and writes the metrics snapshot. Without
+   either flag [f None] runs with zero instrumentation overhead. *)
+let with_obs trace_out metrics_out f =
+  match (trace_out, metrics_out) with
+  | None, None -> f None
+  | _ ->
+    let obs = Ftss_obs.Obs.create () in
+    (match trace_out with
+    | Some path -> Ftss_obs.Obs.add_sink obs (Ftss_obs.Sink.jsonl_file path)
+    | None -> ());
+    Fun.protect
+      ~finally:(fun () ->
+        Ftss_obs.Obs.close obs;
+        match metrics_out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc
+            (Ftss_obs.Json.to_string (Ftss_obs.Metrics.to_json (Ftss_obs.Obs.metrics obs)));
+          output_char oc '\n';
+          close_out oc
+        | None -> ())
+      (fun () -> f (Some obs))
+
 (* --- round-agreement --- *)
 
 let dump_arg =
   Arg.(value & flag & info [ "dump" ] ~doc:"Dump the full round-by-round trace.")
 
 let round_agreement_cmd =
-  let run n f seed rounds p_drop dump =
+  let run n f seed rounds p_drop dump trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
     let rng = Rng.create seed in
     let faults = Faults.random_omission rng ~n ~f ~p_drop ~rounds in
     let trace =
-      Runner.run
+      Runner.run ?obs
         ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:1_000_000)
         ~faults ~rounds Round_agreement.protocol
     in
@@ -59,13 +101,19 @@ let round_agreement_cmd =
       (fun (x, y) -> Format.printf "coterie-stable window: %d..%d@." x y)
       (Solve.stable_windows trace);
     let ok = Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace in
+    let per_window = Solve.measured_per_window Round_agreement.spec trace in
+    (match obs with
+    | Some o -> Ftss_obs.Obs.emit_windows o per_window
+    | None -> ());
     let measured = Solve.measured_stabilization Round_agreement.spec trace in
     Format.printf "ftss-solves round agreement (stabilization 1): %b@." ok;
     Format.printf "measured stabilization: %d@." measured;
     if ok then 0 else 1
   in
   let term =
-    Term.(const run $ n_arg $ f_arg $ seed_arg $ rounds_arg $ p_drop_arg $ dump_arg)
+    Term.(
+      const run $ n_arg $ f_arg $ seed_arg $ rounds_arg $ p_drop_arg $ dump_arg
+      $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "round-agreement"
@@ -82,17 +130,21 @@ let protocol_arg =
         ~doc:"Canonical protocol to compile: $(b,consensus), $(b,ic) or $(b,leader).")
 
 let compile_cmd =
-  let run n f seed rounds p_drop which =
+  let run n f seed rounds p_drop which trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
     let rng = Rng.create seed in
     let faults = Faults.random_omission rng ~n ~f ~p_drop ~rounds in
     let check (type s d) (pi : (s, d) Canonical.t) ~(corrupt_s : Rng.t -> Pid.t -> s -> s)
         ~(valid : d -> bool) =
       let compiled = Compiler.compile ~n pi in
       let corrupt = Compiler.corrupt rng ~pi ~n ~c_bound:1000 ~corrupt_s in
-      let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let trace = Runner.run ?obs ~corrupt ~faults ~rounds compiled in
       let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
       let bound = Compiler.stabilization_bound pi in
       let ok = Solve.ftss_solves spec ~stabilization:bound trace in
+      (match obs with
+      | Some o -> Ftss_obs.Obs.emit_windows o (Solve.measured_per_window spec trace)
+      | None -> ());
       let measured = Solve.measured_stabilization spec trace in
       let completed, agreeing =
         Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
@@ -124,7 +176,9 @@ let compile_cmd =
         ~valid:(fun leader -> Pid.is_valid ~n leader)
   in
   let term =
-    Term.(const run $ n_arg $ f_arg $ seed_arg $ rounds_arg $ p_drop_arg $ protocol_arg)
+    Term.(
+      const run $ n_arg $ f_arg $ seed_arg $ rounds_arg $ p_drop_arg $ protocol_arg
+      $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "compile"
@@ -146,7 +200,8 @@ let crashes_arg =
     & info [ "crash" ] ~docv:"PID:TIME" ~doc:"Crash process PID at TIME (repeatable).")
 
 let esfd_cmd =
-  let run n seed gst horizon crashes =
+  let run n seed gst horizon crashes trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
     let open Ftss_async in
     let config =
       {
@@ -167,7 +222,7 @@ let esfd_cmd =
     let oracle = Ewfd.make (Rng.create (seed + 1)) ~n ~crashed ~gst ~trusted ~noise:0.3 in
     let rng = Rng.create (seed + 2) in
     let corrupt _ t = Esfd.corrupt rng ~num_bound:10_000 t in
-    let result = Sim.run ~corrupt config (Esfd.process ~n ~oracle) in
+    let result = Sim.run ?obs ~corrupt config (Esfd.process ?obs ~n ~oracle ()) in
     let report = Esfd.analyze result ~config ~trusted in
     let show = function Some t -> string_of_int t | None -> "none" in
     Format.printf "messages delivered: %d@." result.Sim.delivered;
@@ -176,7 +231,11 @@ let esfd_cmd =
     Format.printf "Theorem 5 convergence: %s@." (show report.Esfd.convergence_time);
     if report.Esfd.convergence_time <> None then 0 else 1
   in
-  let term = Term.(const run $ n_arg $ seed_arg $ gst_arg $ horizon_arg $ crashes_arg) in
+  let term =
+    Term.(
+      const run $ n_arg $ seed_arg $ gst_arg $ horizon_arg $ crashes_arg $ trace_out_arg
+      $ metrics_out_arg)
+  in
   Cmd.v
     (Cmd.info "esfd"
        ~doc:"Run the Figure 4 ◇W→◇S transform from corrupted detector state; check Theorem 5.")
@@ -185,7 +244,8 @@ let esfd_cmd =
 (* --- stack: oracle-free detector (heartbeats + Figure 4) --- *)
 
 let stack_cmd =
-  let run n seed gst horizon crashes =
+  let run n seed gst horizon crashes trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
     let open Ftss_async in
     let config =
       {
@@ -202,7 +262,7 @@ let stack_cmd =
       Detector_stack.corrupt rng ~time_bound:10_000 ~timeout_bound:150 ~num_bound:5_000
     in
     let result =
-      Sim.run ~corrupt config (Detector_stack.process ~n ~initial_timeout:30 ~backoff:20)
+      Sim.run ?obs ~corrupt config (Detector_stack.process ~n ~initial_timeout:30 ~backoff:20)
     in
     let report = Detector_stack.analyze result ~config in
     let show = function Some t -> string_of_int t | None -> "none" in
@@ -214,7 +274,11 @@ let stack_cmd =
       (show report.Detector_stack.convergence_time);
     if report.Detector_stack.convergence_time <> None then 0 else 1
   in
-  let term = Term.(const run $ n_arg $ seed_arg $ gst_arg $ horizon_arg $ crashes_arg) in
+  let term =
+    Term.(
+      const run $ n_arg $ seed_arg $ gst_arg $ horizon_arg $ crashes_arg $ trace_out_arg
+      $ metrics_out_arg)
+  in
   Cmd.v
     (Cmd.info "stack"
        ~doc:"Run the oracle-free detector stack (heartbeat ◇W + Figure 4 ◇S) from fully corrupted state.")
@@ -244,7 +308,8 @@ let detector_arg =
         ~doc:"◇W source: the scripted $(b,oracle) or live $(b,heartbeats) (oracle-free).")
 
 let consensus_cmd =
-  let run n seed gst horizon crashes style corruption detector_kind =
+  let run n seed gst horizon crashes style corruption detector_kind trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
     let open Ftss_async in
     let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
     let config =
@@ -280,7 +345,7 @@ let consensus_cmd =
       | `Heartbeats -> Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }
     in
     let result =
-      Sim.run ?corrupt config (Consensus.process_with ~n ~style ~propose ~detector)
+      Sim.run ?obs ?corrupt config (Consensus.process_with ?obs ~n ~style ~propose ~detector ())
     in
     let correct = Sim.correct_set config in
     let ds = Consensus.decisions result in
@@ -290,6 +355,13 @@ let consensus_cmd =
     Format.printf "invalid-value instances: %d@."
       (List.length (Consensus.invalid_instances grouped ~propose ~n));
     let stab = Consensus.stabilization_time result ~correct ~propose ~n in
+    (* One whole-run stability window: the async analogue of a coterie-stable
+       interval is the full horizon, with the measured d from Definition
+       2.4's piece-wise reading — the last agreement/validity violation
+       plus one. *)
+    (match (obs, stab) with
+    | Some o, Some t -> Ftss_obs.Obs.emit_windows o [ ((0, result.Sim.end_time), t) ]
+    | _ -> ());
     (match stab with
     | Some t ->
       Format.printf "stabilized at: t=%d@." t;
@@ -310,7 +382,8 @@ let consensus_cmd =
     Term.(
       const run $ n_arg $ seed_arg $ gst_arg
       $ Arg.(value & opt int 4000 & info [ "horizon" ] ~docv:"T" ~doc:"Simulation horizon.")
-      $ crashes_arg $ style_arg $ corruption_arg $ detector_arg)
+      $ crashes_arg $ style_arg $ corruption_arg $ detector_arg $ trace_out_arg
+      $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "consensus"
@@ -320,7 +393,10 @@ let consensus_cmd =
 (* --- impossibility --- *)
 
 let impossibility_cmd =
-  let run () =
+  let run trace_out metrics_out =
+    (* Nothing emits here; the flags exist so every subcommand accepts
+       them and scripted wrappers need no special case. *)
+    with_obs trace_out metrics_out @@ fun _obs ->
     let r1 = Impossibility.Theorem1.run ~isolation:8 ~c_p:42 ~c_q:7 ~suffix:10 in
     let r2 = Impossibility.Theorem2.run ~silence_threshold:4 ~c_p:13 ~c_q:2 ~rounds:12 in
     Format.printf "Theorem 1 confirmed: %b@." (Impossibility.Theorem1.confirms_theorem r1);
@@ -333,7 +409,7 @@ let impossibility_cmd =
   in
   Cmd.v
     (Cmd.info "impossibility" ~doc:"Execute the Theorem 1 and Theorem 2 scenario pairs.")
-    Term.(const run $ const ())
+    Term.(const run $ trace_out_arg $ metrics_out_arg)
 
 (* --- check: exhaustive adversary model-checking (ftss_check) --- *)
 
@@ -376,8 +452,19 @@ let out_arg =
 let check_rounds_arg =
   Arg.(value & opt int 3 & info [ "rounds" ] ~docv:"R" ~doc:"Schedule horizon in rounds.")
 
+let json_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "json" ]
+        ~doc:
+          "Print the explorer statistics as a single JSON object on stdout and nothing \
+           else (the single-domain comparison pass and counterexample shrinking are \
+           skipped). Exit codes are unchanged.")
+
 let check_cmd =
-  let run n f rounds property inject domains out =
+  let run n f rounds property inject domains out json trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
     let open Ftss_check in
     match Property.find ~name:property ~inject with
     | Error msg ->
@@ -397,53 +484,61 @@ let check_cmd =
         2
       | params ->
         let cases = Schedule_enum.enumerate params in
-        Format.printf "property: %s (inject: %s)@." prop.Property.name
-          prop.Property.inject;
-        Format.printf "parameters: n=%d rounds=%d f=%d (intervals=%b drops=%b)@."
-          params.Schedule_enum.n params.Schedule_enum.rounds params.Schedule_enum.f
-          params.Schedule_enum.intervals params.Schedule_enum.drops;
-        Format.printf "adversary space: %d schedules x %d corruption classes = %d cases@."
-          (Schedule_enum.count_schedules params)
-          (List.length (Schedule_enum.corruptions params))
-          (Array.length cases);
-        let domains = if domains <= 0 then min 4 (Explore.available ()) else domains in
-        let stats, results = Explore.run ~domains prop cases in
-        Format.printf "%a@." Explore.pp_stats stats;
-        if stats.Explore.domains > 1 then begin
-          let stats1, _ = Explore.run ~domains:1 prop cases in
-          Format.printf
-            "single-domain elapsed: %.3f s -> speedup %.2fx at %d domains@."
-            stats1.Explore.elapsed
-            (if stats.Explore.elapsed > 0. then
-               stats1.Explore.elapsed /. stats.Explore.elapsed
-             else 0.)
-            stats.Explore.domains
+        if not json then begin
+          Format.printf "property: %s (inject: %s)@." prop.Property.name
+            prop.Property.inject;
+          Format.printf "parameters: n=%d rounds=%d f=%d (intervals=%b drops=%b)@."
+            params.Schedule_enum.n params.Schedule_enum.rounds params.Schedule_enum.f
+            params.Schedule_enum.intervals params.Schedule_enum.drops;
+          Format.printf "adversary space: %d schedules x %d corruption classes = %d cases@."
+            (Schedule_enum.count_schedules params)
+            (List.length (Schedule_enum.corruptions params))
+            (Array.length cases)
         end;
-        (match stats.Explore.violations with
-        | [] ->
-          Format.printf
-            "verdict: %s holds over the exhaustive bounded adversary space@."
-            prop.Property.name;
-          0
-        | first :: _ ->
-          let case = cases.(first) in
-          Format.printf "verdict: VIOLATED (first counterexample, case %d)@." first;
-          Format.printf "  %a@." Schedule_enum.pp case;
-          Format.printf "  %s@." results.(first).Explore.detail;
-          let shrunk = Shrink.shrink ~property:prop case in
-          Format.printf "shrunk counterexample (size %d -> %d):@."
-            (Schedule_enum.size case) (Schedule_enum.size shrunk);
-          Format.printf "  %a@." Schedule_enum.pp shrunk;
-          let replayable =
-            { Replay.property = prop.Property.name; inject = prop.Property.inject;
-              case = shrunk }
-          in
-          (match out with
-          | Some path ->
-            Replay.save path replayable;
-            Format.printf "replay file written to %s (ftss_cli replay %s)@." path path
-          | None -> Format.printf "%s" (Replay.to_string replayable));
-          1))
+        let domains = if domains <= 0 then min 4 (Explore.available ()) else domains in
+        let stats, results = Explore.run ?obs ~domains prop cases in
+        if json then begin
+          print_endline (Ftss_obs.Json.to_string (Explore.to_json stats));
+          match stats.Explore.violations with [] -> 0 | _ :: _ -> 1
+        end
+        else begin
+          Format.printf "%a@." Explore.pp_stats stats;
+          if stats.Explore.domains > 1 then begin
+            let stats1, _ = Explore.run ~domains:1 prop cases in
+            Format.printf
+              "single-domain elapsed: %.3f s -> speedup %.2fx at %d domains@."
+              stats1.Explore.elapsed
+              (if stats.Explore.elapsed > 0. then
+                 stats1.Explore.elapsed /. stats.Explore.elapsed
+               else 0.)
+              stats.Explore.domains
+          end;
+          match stats.Explore.violations with
+          | [] ->
+            Format.printf
+              "verdict: %s holds over the exhaustive bounded adversary space@."
+              prop.Property.name;
+            0
+          | first :: _ ->
+            let case = cases.(first) in
+            Format.printf "verdict: VIOLATED (first counterexample, case %d)@." first;
+            Format.printf "  %a@." Schedule_enum.pp case;
+            Format.printf "  %s@." results.(first).Explore.detail;
+            let shrunk = Shrink.shrink ~property:prop case in
+            Format.printf "shrunk counterexample (size %d -> %d):@."
+              (Schedule_enum.size case) (Schedule_enum.size shrunk);
+            Format.printf "  %a@." Schedule_enum.pp shrunk;
+            let replayable =
+              { Replay.property = prop.Property.name; inject = prop.Property.inject;
+                case = shrunk }
+            in
+            (match out with
+            | Some path ->
+              Replay.save path replayable;
+              Format.printf "replay file written to %s (ftss_cli replay %s)@." path path
+            | None -> Format.printf "%s" (Replay.to_string replayable));
+            1
+        end)
   in
   let term =
     (* Long aliases so the CI-style spelling "check --n 3 --f 1" parses
@@ -463,7 +558,7 @@ let check_cmd =
     in
     Term.(
       const run $ n_arg $ f_arg $ check_rounds_arg $ property_arg $ inject_arg
-      $ domains_arg $ out_arg)
+      $ domains_arg $ out_arg $ json_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -476,7 +571,8 @@ let check_cmd =
 (* --- replay --- *)
 
 let replay_cmd =
-  let run path =
+  let run path trace_out metrics_out =
+    with_obs trace_out metrics_out @@ fun _obs ->
     let open Ftss_check in
     match Replay.load path with
     | Error msg ->
@@ -510,7 +606,53 @@ let replay_cmd =
     (Cmd.info "replay"
        ~doc:"Deterministically re-execute a shrunk counterexample file and confirm it \
              still falsifies its property.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_out_arg $ metrics_out_arg)
+
+(* --- trace: summarize a JSONL event file --- *)
+
+let trace_cmd =
+  let run path dump_events kind =
+    match Ftss_obs.Trace_summary.load path with
+    | Error msg ->
+      Format.eprintf "trace: %s@." msg;
+      2
+    | Ok t ->
+      if dump_events || kind <> None then begin
+        let wanted ev =
+          match kind with None -> true | Some k -> Ftss_obs.Event.kind ev = k
+        in
+        List.iter
+          (fun ev -> if wanted ev then Format.printf "%a@." Ftss_obs.Event.pp ev)
+          (Ftss_obs.Trace_summary.events t)
+      end
+      else Format.printf "%a@." Ftss_obs.Trace_summary.pp t;
+      0
+  in
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE.jsonl" ~doc:"Event trace written by $(b,--trace-out).")
+  in
+  let events_arg =
+    Arg.(
+      value & flag
+      & info [ "events" ] ~doc:"Dump every event, one per line, instead of the summary.")
+  in
+  let kind_arg =
+    Arg.(
+      value
+      & opt (some (enum (List.map (fun k -> (k, k)) Ftss_obs.Event.kinds))) None
+      & info [ "kind" ] ~docv:"KIND"
+          ~doc:"With or without $(b,--events): dump only events of this kind.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Summarize a JSON Lines event trace: event census, coterie-stable windows with \
+          measured stabilization, per-process suspicion timeline, and the omission \
+          blame matrix.")
+    Term.(const run $ file_arg $ events_arg $ kind_arg)
 
 let () =
   let doc = "Unifying self-stabilization and fault-tolerance (PODC 1993) — simulator and experiments" in
@@ -520,5 +662,5 @@ let () =
        (Cmd.group info
           [
             round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
-            impossibility_cmd; check_cmd; replay_cmd;
+            impossibility_cmd; check_cmd; replay_cmd; trace_cmd;
           ]))

@@ -38,7 +38,7 @@ let () =
     n config.Sim.gst Pid.pp trusted;
   Format.printf "every process starts with corrupted num/state tables@.@.";
 
-  let result = Sim.run ~corrupt config (Esfd.process ~n ~oracle) in
+  let result = Sim.run ~corrupt config (Esfd.process ~n ~oracle ()) in
 
   (* Print a sampled timeline of process 0's suspect set. *)
   Format.printf "=== suspect set of p0 over time (sampled) ===@.";

@@ -57,7 +57,7 @@ let () =
   let result =
     Sim.run ~corrupt config
       (Consensus.process_with ~n ~style:Consensus.self_stabilizing ~propose
-         ~detector:(Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }))
+         ~detector:(Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }) ())
   in
   let correct = Sim.correct_set config in
   let ds = Consensus.decisions result in

@@ -80,6 +80,23 @@ let enter ctx ~n st ~round =
   let coord = if Pid.equal c (Sim.self ctx) then Some (fresh_record round) else st.coord in
   { st with coord }
 
+let emit_decide obs ctx ~instance ~value =
+  match obs with
+  | None -> ()
+  | Some o ->
+    Ftss_obs.Obs.emit o
+      {
+        Ftss_obs.Event.time = Sim.now ctx;
+        body = Ftss_obs.Event.Decide { pid = Sim.self ctx; instance; value };
+      }
+
+let emit_suspect_diff obs ctx ~before ~after =
+  match obs with
+  | None -> ()
+  | Some o ->
+    Ftss_obs.Obs.suspect_diff o ~time:(Sim.now ctx) ~observer:(Sim.self ctx) ~before
+      ~after
+
 (* Round agreement: abandon current work and join a newer (instance, round). *)
 let jump ctx ~n ~propose st target =
   Sim.observe ctx (Joined target);
@@ -97,8 +114,9 @@ let jump ctx ~n ~propose st target =
   enter ctx ~n st ~round:target.round
 
 (* Learn the decision of [instance] (>= ours) and start the next one. *)
-let learn_decision ctx ~n ~propose st ~instance ~value =
+let learn_decision ?obs ctx ~n ~propose st ~instance ~value =
   Sim.observe ctx (Decided { instance; value });
+  emit_decide obs ctx ~instance ~value;
   let next = instance + 1 in
   let st =
     {
@@ -112,7 +130,7 @@ let learn_decision ctx ~n ~propose st ~instance ~value =
   in
   enter ctx ~n st ~round:0
 
-let process_with ~n ~style ~propose ~detector =
+let process_with ?obs ~n ~style ~propose ~detector () =
   let maybe_propose ctx st co =
     (* Phase 2: with a majority of estimates and no proposal yet, propose
        the estimate with the newest timestamp (ties broken by lowest pid,
@@ -147,7 +165,7 @@ let process_with ~n ~style ~propose ~detector =
     match cm with
     | Decide { instance; value } ->
       if instance >= st.instance then
-        drain ctx (learn_decision ctx ~n ~propose st ~instance ~value)
+        drain ctx (learn_decision ?obs ctx ~n ~propose st ~instance ~value)
       else st
     | Est _ | Propose _ | Ack _ | Nack _ | Round _ ->
       let t = Option.get (tag_of_cmsg cm) in
@@ -222,6 +240,7 @@ let process_with ~n ~style ~propose ~detector =
         drain ctx (handle ctx st ~src m)
     end
   in
+  let traced = Option.is_some obs in
   let on_tick ctx st =
     let at = Sim.now ctx and self = Sim.self ctx in
     (* ◇W layer: either the scripted oracle or live heartbeats. *)
@@ -236,7 +255,9 @@ let process_with ~n ~style ~propose ~detector =
       | Heartbeats _, None -> (st, fun _ -> false)
     in
     (* Failure-detector maintenance (Figure 4). *)
+    let fd_before = if traced then Esfd.suspects st.fd else Pidset.empty in
     let fd, fd_msg = Esfd.tick st.fd ~self ~detect in
+    if traced then emit_suspect_diff obs ctx ~before:fd_before ~after:(Esfd.suspects fd);
     Sim.broadcast ctx (Fd fd_msg);
     let st = { st with fd } in
     (* Phase 3 (nack): give up on a suspected coordinator. *)
@@ -307,7 +328,12 @@ let process_with ~n ~style ~propose ~detector =
     on_message =
       (fun ctx st ~src m ->
         match m with
-        | Fd fm -> { st with fd = Esfd.receive st.fd fm }
+        | Fd fm ->
+          let fd = Esfd.receive st.fd fm in
+          if traced then
+            emit_suspect_diff obs ctx ~before:(Esfd.suspects st.fd)
+              ~after:(Esfd.suspects fd);
+          { st with fd }
         | Hb Heartbeat.Heartbeat ->
           (match st.hb with
           | Some hb -> { st with hb = Some (Heartbeat.heard hb ~src ~now:(Sim.now ctx)) }
@@ -316,8 +342,8 @@ let process_with ~n ~style ~propose ~detector =
     on_tick;
   }
 
-let process ~n ~style ~propose ~oracle =
-  process_with ~n ~style ~propose ~detector:(Oracle oracle)
+let process ?obs ~n ~style ~propose ~oracle () =
+  process_with ?obs ~n ~style ~propose ~detector:(Oracle oracle) ()
 
 let corrupt_random rng ~n:_ ~instance_bound ~round_bound ~value_bound _pid st =
   {

@@ -82,23 +82,30 @@ type observation =
   | Decided of { instance : int; value : value }
   | Joined of tag  (** process adopted a newer (instance, round) tag *)
 
-(** [process ~n ~style ~propose ~oracle] builds the Sim process.
+(** [process ?obs ~n ~style ~propose ~oracle ()] builds the Sim process.
     [propose p i] is process [p]'s proposal for instance [i]. The embedded
-    failure detector is the Figure 4 ◇S transform over [oracle]. *)
+    failure detector is the Figure 4 ◇S transform over [oracle]. When
+    [obs] is given, every decision emits a [Decide] event and every
+    change of the embedded ◇S suspect set emits
+    [Suspect_add]/[Suspect_remove] events. *)
 val process :
+  ?obs:Ftss_obs.Obs.t ->
   n:int ->
   style:style ->
   propose:(Pid.t -> int -> value) ->
   oracle:Ewfd.t ->
+  unit ->
   (state, msg, observation) Sim.process
 
-(** [process_with ~n ~style ~propose ~detector] generalizes {!process} to
-    either detector source. *)
+(** [process_with ?obs ~n ~style ~propose ~detector ()] generalizes
+    {!process} to either detector source. *)
 val process_with :
+  ?obs:Ftss_obs.Obs.t ->
   n:int ->
   style:style ->
   propose:(Pid.t -> int -> value) ->
   detector:detector_source ->
+  unit ->
   (state, msg, observation) Sim.process
 
 (** {2 Systemic failures} *)

@@ -54,25 +54,35 @@ let suspects t =
 
 type observation = Suspects of Pidset.t
 
-let process ~n ~oracle =
+let process ?obs ~n ~oracle () =
   ignore n;
+  let suspect_diff ~time ~observer ~before ~after =
+    match obs with
+    | None -> ()
+    | Some o -> Ftss_obs.Obs.suspect_diff o ~time ~observer ~before ~after
+  in
   {
     Sim.name = "esfd";
     init = (fun _ -> create ~n);
     on_tick =
       (fun ctx t ->
         let at = Sim.now ctx and self = Sim.self ctx in
+        let before = suspects t in
         let detect s = Ewfd.detect oracle ~at ~observer:self ~subject:s in
         let t, message = tick t ~self ~detect in
         Sim.broadcast ctx message;
         Sim.observe ctx (Suspects (suspects t));
+        suspect_diff ~time:at ~observer:self ~before ~after:(suspects t);
         t);
     on_message =
       (fun ctx t ~src:_ message ->
         let before = suspects t in
         let t = receive t message in
         let after = suspects t in
-        if not (Pidset.equal before after) then Sim.observe ctx (Suspects after);
+        if not (Pidset.equal before after) then begin
+          Sim.observe ctx (Suspects after);
+          suspect_diff ~time:(Sim.now ctx) ~observer:(Sim.self ctx) ~before ~after
+        end;
         t);
   }
 

@@ -58,10 +58,13 @@ val suspects : t -> Pidset.t
 type observation = Suspects of Pidset.t
 (** Logged whenever a process's suspect set changes. *)
 
-(** [process ~n ~oracle] is the Sim process: on every tick it queries the
-    ◇W oracle, performs {!tick} and broadcasts; on every message it
-    merges. Changes to the suspect set are observed. *)
-val process : n:int -> oracle:Ewfd.t -> (t, msg, observation) Sim.process
+(** [process ?obs ~n ~oracle ()] is the Sim process: on every tick it
+    queries the ◇W oracle, performs {!tick} and broadcasts; on every
+    message it merges. Changes to the suspect set are observed, and —
+    when [obs] is given — also emitted as [Suspect_add]/[Suspect_remove]
+    events via {!Ftss_obs.Obs.suspect_diff}. *)
+val process :
+  ?obs:Ftss_obs.Obs.t -> n:int -> oracle:Ewfd.t -> unit -> (t, msg, observation) Sim.process
 
 type report = {
   convergence_time : int option;

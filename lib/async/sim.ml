@@ -68,7 +68,7 @@ let crashed_set config =
 
 let correct_set config = Pidset.diff (Pidset.full config.n) (crashed_set config)
 
-let run ?corrupt ?(spurious = []) config process =
+let run ?obs ?corrupt ?(spurious = []) config process =
   if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
   if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
   let rng = Rng.create config.seed in
@@ -78,10 +78,27 @@ let run ?corrupt ?(spurious = []) config process =
     (fun (p, t) -> crash_time.(p) <- min crash_time.(p) t)
     config.crashes;
   let alive p ~at = at < crash_time.(p) in
+  (* Observability: [traced] guards event construction so the default
+     zero-sink path allocates nothing. Crash events are emitted once, the
+     first time a process is observed past its crash time. *)
+  let traced = Option.is_some obs in
+  let emit ev = match obs with Some o -> Ftss_obs.Obs.emit o ev | None -> () in
+  let crash_emitted = Array.make config.n false in
+  let note_dead p =
+    if traced && not crash_emitted.(p) then begin
+      crash_emitted.(p) <- true;
+      emit
+        { Ftss_obs.Event.time = crash_time.(p); body = Ftss_obs.Event.Crash { pid = p } }
+    end
+  in
   let initial p =
     let s = process.init p in
     match corrupt with None -> s | Some c -> c p s
   in
+  if traced && corrupt <> None then
+    List.iter
+      (fun p -> emit { Ftss_obs.Event.time = 0; body = Ftss_obs.Event.Corrupt { pid = p } })
+      (Pid.all config.n);
   let states = Array.init config.n (fun p -> Some (initial p)) in
   let log = ref [] in
   let delivered = ref 0 in
@@ -94,6 +111,12 @@ let run ?corrupt ?(spurious = []) config process =
     List.iter
       (fun (dst, msg) ->
         let t = ctx.ctx_now + delay ~at:ctx.ctx_now in
+        if traced then
+          emit
+            {
+              Ftss_obs.Event.time = ctx.ctx_now;
+              body = Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst };
+            };
         Event_queue.push queue ~time:t (Deliver { src = ctx.ctx_self; dst; msg }))
       (List.rev ctx.outbox);
     List.iter
@@ -112,7 +135,10 @@ let run ?corrupt ?(spurious = []) config process =
         flush_ctx ctx;
         states.(p) <- Some s'
       end
-      else states.(p) <- None
+      else begin
+        states.(p) <- None;
+        note_dead p
+      end
   in
   (* Initial ticks, staggered so processes do not step in lockstep. *)
   List.iter
@@ -132,9 +158,20 @@ let run ?corrupt ?(spurious = []) config process =
       | Deliver { src; dst; msg } ->
         if alive dst ~at:t && states.(dst) <> None then begin
           incr delivered;
+          if traced then
+            emit { Ftss_obs.Event.time = t; body = Ftss_obs.Event.Deliver { src; dst } };
           step dst t (fun ctx s -> process.on_message ctx s ~src msg)
         end
-        else incr dropped_after_crash
+        else begin
+          incr dropped_after_crash;
+          note_dead dst;
+          if traced then
+            emit
+              {
+                Ftss_obs.Event.time = t;
+                body = Ftss_obs.Event.Drop { src; dst; blame = Some dst };
+              }
+        end
       | Tick p ->
         if alive p ~at:t && states.(p) <> None then begin
           step p t process.on_tick;
@@ -146,7 +183,10 @@ let run ?corrupt ?(spurious = []) config process =
   (* Mark crashed processes in the final state vector. *)
   Array.iteri
     (fun p st ->
-      if st <> None && not (alive p ~at:config.horizon) then states.(p) <- None)
+      if st <> None && not (alive p ~at:config.horizon) then begin
+        states.(p) <- None;
+        note_dead p
+      end)
     (Array.copy states);
   {
     final_states = states;

@@ -72,11 +72,19 @@ type ('s, 'o) result = {
   end_time : time;
 }
 
-(** [run ?corrupt ?spurious config process] executes until the horizon (or
-    until the event queue drains). [spurious (time, src, dst, msg)] events
-    are injected into the channels at start-up. Raises [Invalid_argument]
-    on non-positive [tick_interval] or [horizon]. *)
+(** [run ?obs ?corrupt ?spurious config process] executes until the
+    horizon (or until the event queue drains). [spurious
+    (time, src, dst, msg)] events are injected into the channels at
+    start-up. When [obs] is given, the engine emits the run's event
+    stream: [Corrupt] per process at time 0 when [corrupt] is present,
+    one point [Send] per enqueued message at its send time, [Deliver] at
+    its delivery time, [Drop] (blaming the receiver) for messages
+    addressed to a crashed process, and [Crash] once per crashed process,
+    timestamped with its crash time. With [obs] absent the
+    instrumentation allocates nothing. Raises [Invalid_argument] on
+    non-positive [tick_interval] or [horizon]. *)
 val run :
+  ?obs:Ftss_obs.Obs.t ->
   ?corrupt:(Pid.t -> 's -> 's) ->
   ?spurious:(time * Pid.t * Pid.t * 'm) list ->
   config ->

@@ -1,5 +1,7 @@
 type result = { fingerprint : string; ok : bool; detail : string; states : int }
 
+type domain_stat = { d_cases : int; d_states : int; d_busy : float }
+
 type stats = {
   cases : int;
   distinct : int;
@@ -8,6 +10,7 @@ type stats = {
   states : int;
   elapsed : float;
   domains : int;
+  per_domain : domain_stat array;
 }
 
 let available () = Domain.recommended_domain_count ()
@@ -31,25 +34,59 @@ let cache_store cache key v =
   if not (Hashtbl.mem cache.table key) then Hashtbl.add cache.table key v;
   Mutex.unlock cache.mutex
 
-let run ?(domains = 1) (property : Property.t) cases =
+let run ?obs ?(domains = 1) (property : Property.t) cases =
   let len = Array.length cases in
   let domains = max 1 (min domains 64) in
   let results = Array.make len None in
   let cache = { table = Hashtbl.create (max 16 len); mutex = Mutex.create () } in
   let next = Atomic.make 0 in
+  let traced = Option.is_some obs in
+  let emit ev = match obs with Some o -> Ftss_obs.Obs.emit o ev | None -> () in
+  (* Obs.emit and Obs.with_metrics serialize on the hub mutex, so the
+     worker domains may share one hub; event construction is guarded on
+     [traced] to keep the no-hub path allocation-free. *)
   let worker () =
+    let my_cases = ref 0 and my_states = ref 0 and my_busy = ref 0. in
     let rec loop () =
       let i = Atomic.fetch_and_add next 1 in
       if i < len then begin
+        if traced then begin
+          emit { Ftss_obs.Event.time = i; body = Ftss_obs.Event.Case_start { case = i } };
+          match obs with
+          | Some o ->
+            Ftss_obs.Obs.with_metrics o (fun m ->
+                Ftss_obs.Metrics.observe
+                  (Ftss_obs.Metrics.histogram m "explore_queue_depth")
+                  (float_of_int (len - i)))
+          | None -> ()
+        end;
+        let t0 = Unix.gettimeofday () in
         let r = property.Property.run cases.(i) in
+        let cached = cache_find cache r.Property.fingerprint in
         let verdict =
-          match cache_find cache r.Property.fingerprint with
+          match cached with
           | Some v -> v
           | None ->
             let v = Lazy.force r.Property.verdict in
             cache_store cache r.Property.fingerprint v;
             v
         in
+        my_busy := !my_busy +. (Unix.gettimeofday () -. t0);
+        incr my_cases;
+        my_states := !my_states + r.Property.states;
+        if traced then
+          emit
+            {
+              Ftss_obs.Event.time = i;
+              body =
+                Ftss_obs.Event.Case_verdict
+                  {
+                    case = i;
+                    ok = verdict.Property.ok;
+                    dedup = Option.is_some cached;
+                    states = r.Property.states;
+                  };
+            };
         results.(i) <-
           Some
             {
@@ -61,15 +98,18 @@ let run ?(domains = 1) (property : Property.t) cases =
         loop ()
       end
     in
-    loop ()
+    loop ();
+    { d_cases = !my_cases; d_states = !my_states; d_busy = !my_busy }
   in
   let t0 = Unix.gettimeofday () in
-  if domains = 1 then worker ()
-  else begin
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join spawned
-  end;
+  let per_domain =
+    if domains = 1 then [| worker () |]
+    else begin
+      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+      let mine = worker () in
+      Array.append [| mine |] (Array.map Domain.join spawned)
+    end
+  in
   let elapsed = Unix.gettimeofday () -. t0 in
   let results =
     Array.map
@@ -87,7 +127,8 @@ let run ?(domains = 1) (property : Property.t) cases =
       states := !states + r.states;
       if not r.ok then violations := i :: !violations)
     results;
-  ( {
+  let stats =
+    {
       cases = len;
       distinct = !distinct;
       dedup_hits = len - !distinct;
@@ -95,8 +136,25 @@ let run ?(domains = 1) (property : Property.t) cases =
       states = !states;
       elapsed;
       domains;
-    },
-    results )
+      per_domain;
+    }
+  in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Ftss_obs.Obs.with_metrics o (fun m ->
+        let set name v = Ftss_obs.Metrics.set (Ftss_obs.Metrics.gauge m name) v in
+        set "explore_runs_per_sec"
+          (if elapsed > 0. then float_of_int len /. elapsed else 0.);
+        set "explore_states_per_sec"
+          (if elapsed > 0. then float_of_int !states /. elapsed else 0.);
+        Array.iteri
+          (fun d ds ->
+            set
+              (Printf.sprintf "explore_domain_utilization.%d" d)
+              (if elapsed > 0. then ds.d_busy /. elapsed else 0.))
+          per_domain));
+  (stats, results)
 
 let runs_per_sec s = if s.elapsed > 0. then float_of_int s.cases /. s.elapsed else 0.
 
@@ -106,16 +164,52 @@ let states_per_sec s =
 let dedup_rate s =
   if s.cases = 0 then 0. else float_of_int s.dedup_hits /. float_of_int s.cases
 
+let to_json s =
+  let open Ftss_obs.Json in
+  Obj
+    [
+      ("cases", Int s.cases);
+      ("distinct", Int s.distinct);
+      ("dedup_hits", Int s.dedup_hits);
+      ("violations", List (List.map (fun i -> Int i) s.violations));
+      ("states", Int s.states);
+      ("elapsed", Float s.elapsed);
+      ("domains", Int s.domains);
+      ("runs_per_sec", Float (runs_per_sec s));
+      ("states_per_sec", Float (states_per_sec s));
+      ( "per_domain",
+        List
+          (Array.to_list
+             (Array.map
+                (fun d ->
+                  Obj
+                    [
+                      ("cases", Int d.d_cases);
+                      ("states", Int d.d_states);
+                      ("busy", Float d.d_busy);
+                      ( "utilization",
+                        Float (if s.elapsed > 0. then d.d_busy /. s.elapsed else 0.) );
+                    ])
+                s.per_domain)) );
+    ]
+
 let pp_stats ppf s =
   Format.fprintf ppf
     "@[<v>runs explored: %d, distinct traces: %d, dedup hits: %d (%.1f%%)@,\
      states simulated: %d@,\
      violations: %d@,\
-     elapsed: %.3f s at %d domain%s (%.0f runs/s, %.0f states/s)@]"
+     elapsed: %.3f s at %d domain%s (%.0f runs/s, %.0f states/s)"
     s.cases s.distinct s.dedup_hits
     (100. *. dedup_rate s)
     s.states
     (List.length s.violations)
     s.elapsed s.domains
     (if s.domains = 1 then "" else "s")
-    (runs_per_sec s) (states_per_sec s)
+    (runs_per_sec s) (states_per_sec s);
+  Array.iteri
+    (fun d ds ->
+      Format.fprintf ppf "@,  domain %d: %d cases, %d states, %.0f%% busy" d ds.d_cases
+        ds.d_states
+        (if s.elapsed > 0. then 100. *. ds.d_busy /. s.elapsed else 0.))
+    s.per_domain;
+  Format.fprintf ppf "@]"

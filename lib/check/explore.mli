@@ -12,6 +12,11 @@
 (** Per-case outcome, in enumeration order. *)
 type result = { fingerprint : string; ok : bool; detail : string; states : int }
 
+(** What one worker domain did: case and state counts plus the seconds it
+    spent executing cases (its busy time; [d_busy /. elapsed] is its
+    utilization). *)
+type domain_stat = { d_cases : int; d_states : int; d_busy : float }
+
 type stats = {
   cases : int;  (** runs explored *)
   distinct : int;  (** distinct execution fingerprints *)
@@ -20,13 +25,27 @@ type stats = {
   states : int;  (** total process-round states simulated *)
   elapsed : float;  (** wall-clock seconds *)
   domains : int;
+  per_domain : domain_stat array;  (** index 0 is the calling domain *)
 }
 
-(** [run ~domains property cases] explores every case. [domains] defaults
-    to 1 and is clamped to [1..64]; asking for more domains than cores is
-    legal (merely oversubscribed). The returned [result] array is indexed
-    like [cases]. *)
-val run : ?domains:int -> Property.t -> Schedule_enum.t array -> stats * result array
+(** [run ?obs ~domains property cases] explores every case. [domains]
+    defaults to 1 and is clamped to [1..64]; asking for more domains than
+    cores is legal (merely oversubscribed). The returned [result] array is
+    indexed like [cases].
+
+    When [obs] is given, every case emits a [Case_start] and a
+    [Case_verdict] event (the [dedup] flag marks verdict-cache hits as
+    seen by the executing domain — a racy-but-benign underapproximation of
+    the deterministic [dedup_hits] figure), the work-queue depth at each
+    claim lands in the ["explore_queue_depth"] histogram, and the merged
+    throughput and per-domain utilization are recorded as gauges. All hub
+    access serializes on the hub's own mutex. *)
+val run :
+  ?obs:Ftss_obs.Obs.t ->
+  ?domains:int ->
+  Property.t ->
+  Schedule_enum.t array ->
+  stats * result array
 
 (** [Domain.recommended_domain_count ()]. *)
 val available : unit -> int
@@ -36,5 +55,9 @@ val states_per_sec : stats -> float
 
 (** Dedup hits as a fraction of all runs, in [0, 1]. *)
 val dedup_rate : stats -> float
+
+(** The stats as one JSON object (throughput and per-domain utilization
+    included) — what [ftss check --json] prints. *)
+val to_json : stats -> Ftss_obs.Json.t
 
 val pp_stats : Format.formatter -> stats -> unit

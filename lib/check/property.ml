@@ -158,7 +158,7 @@ let theorem5 () =
       | S.Distinct -> Some (Esfd.corrupt (Rng.create 19) ~num_bound:997)
     in
     let corrupt = Option.map (fun c (_ : Pid.t) t -> c t) corrupt in
-    let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle) in
+    let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle ()) in
     let report = Esfd.analyze result ~config ~trusted in
     ignore rounds;
     {

@@ -34,7 +34,7 @@ let ftss_solves (spec : ('s, 'm) Spec.t) ~stabilization trace =
 let stable_windows trace =
   Causality.stable_intervals (Causality.analyze trace)
 
-let measured_stabilization (spec : ('s, 'm) Spec.t) trace =
+let measured_per_window (spec : ('s, 'm) Spec.t) trace =
   let faulty = trace.Trace.declared_faulty in
   let intervals = stable_windows trace in
   (* Per interval [x..y]: the least d with Σ on [x+d+1 .. y]; specs in this
@@ -49,4 +49,10 @@ let measured_stabilization (spec : ('s, 'm) Spec.t) trace =
     in
     if x >= y then 0 else search 0
   in
-  List.fold_left (fun worst interval -> max worst (per_interval interval)) 0 intervals
+  List.map (fun interval -> (interval, per_interval interval)) intervals
+
+let measured_stabilization (spec : ('s, 'm) Spec.t) trace =
+  List.fold_left
+    (fun worst (_, d) -> max worst d)
+    0
+    (measured_per_window spec trace)

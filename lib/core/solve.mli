@@ -48,6 +48,15 @@ val ftss_solves :
 val measured_stabilization :
   ('s, 'm) Spec.t -> ('s, 'm) Ftss_sync.Trace.t -> int
 
+(** [measured_per_window spec trace] is the per-window decomposition of
+    {!measured_stabilization}: each maximal coterie-stable interval
+    [(x, y)] paired with the least [d] discharging Σ on
+    [x + d + 1 .. y]. {!measured_stabilization} is the maximum of the
+    measured column (0 when there are no windows). The observability
+    layer emits one window-open/window-close event pair per entry. *)
+val measured_per_window :
+  ('s, 'm) Spec.t -> ('s, 'm) Ftss_sync.Trace.t -> ((int * int) * int) list
+
 (** [stable_windows trace] exposes the maximal coterie-stable intervals
     [(x, y)] of the history (prefix-length coordinates), for reporting. *)
 val stable_windows : ('s, 'm) Ftss_sync.Trace.t -> (int * int) list

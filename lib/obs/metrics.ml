@@ -1,0 +1,180 @@
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+
+let reservoir_capacity = 4096
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  reservoir : float array; (* first [reservoir_capacity] samples *)
+  mutable retained : int;
+}
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  histograms : (string, histogram) Hashtbl.t;
+}
+
+let create () =
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    histograms = Hashtbl.create 8;
+  }
+
+let is_empty t =
+  Hashtbl.length t.counters = 0
+  && Hashtbl.length t.gauges = 0
+  && Hashtbl.length t.histograms = 0
+
+let get_or_create table name fresh =
+  match Hashtbl.find_opt table name with
+  | Some v -> v
+  | None ->
+    let v = fresh () in
+    Hashtbl.add table name v;
+    v
+
+let counter t name = get_or_create t.counters name (fun () -> { count = 0 })
+let inc c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let counter_value c = c.count
+
+let gauge t name = get_or_create t.gauges name (fun () -> { value = 0. })
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+let histogram t name =
+  get_or_create t.histograms name (fun () ->
+      {
+        h_count = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+        reservoir = Array.make reservoir_capacity 0.;
+        retained = 0;
+      })
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  if h.retained < reservoir_capacity then begin
+    h.reservoir.(h.retained) <- v;
+    h.retained <- h.retained + 1
+  end
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let percentile h p =
+  if p < 0. || p > 100. then invalid_arg "Metrics.percentile: p outside [0, 100]";
+  if h.retained = 0 then nan
+  else begin
+    let sorted = Array.sub h.reservoir 0 h.retained in
+    Array.sort compare sorted;
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int h.retained)) - 1
+    in
+    sorted.(max 0 (min (h.retained - 1) rank))
+  end
+
+(* --- standard derivations from the event taxonomy --- *)
+
+let link name src dst = Printf.sprintf "%s.%d->%d" name src dst
+
+let record_event t ev =
+  match ev.Event.body with
+  | Event.Round_begin -> inc (counter t "rounds")
+  | Event.Round_end -> ()
+  | Event.Send _ -> inc (counter t "messages_sent")
+  | Event.Deliver { src; dst } ->
+    inc (counter t "messages_delivered");
+    inc (counter t (link "link_delivered" src dst))
+  | Event.Drop { src; dst; _ } ->
+    inc (counter t "messages_dropped");
+    inc (counter t (link "link_dropped" src dst))
+  | Event.Crash _ -> inc (counter t "crashes")
+  | Event.Corrupt _ -> inc (counter t "corruptions")
+  | Event.Suspect_add _ ->
+    inc (counter t "suspicions_added");
+    inc (counter t "suspicion_churn")
+  | Event.Suspect_remove _ ->
+    inc (counter t "suspicions_removed");
+    inc (counter t "suspicion_churn")
+  | Event.Decide _ -> inc (counter t "decisions")
+  | Event.Window_open -> inc (counter t "stable_windows")
+  | Event.Window_close { measured; _ } ->
+    observe (histogram t "stabilization") (float_of_int measured)
+  | Event.Case_start _ -> inc (counter t "checker_cases_started")
+  | Event.Case_verdict { ok; dedup; states; _ } ->
+    inc (counter t "checker_cases");
+    if not ok then inc (counter t "checker_violations");
+    if dedup then inc (counter t "checker_dedup_hits");
+    add (counter t "checker_states") states
+
+(* --- export --- *)
+
+let sorted_bindings table =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram_json h =
+  if h.h_count = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int h.h_count);
+        ("sum", Json.Float h.h_sum);
+        ("min", Json.Float h.h_min);
+        ("max", Json.Float h.h_max);
+        ("mean", Json.Float (h.h_sum /. float_of_int h.h_count));
+        ("p50", Json.Float (percentile h 50.));
+        ("p95", Json.Float (percentile h 95.));
+        ("p99", Json.Float (percentile h 99.));
+      ]
+
+let to_json t =
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, c) -> (k, Json.Int c.count)) (sorted_bindings t.counters)) );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun (k, g) -> (k, Json.Float g.value)) (sorted_bindings t.gauges)) );
+      ( "histograms",
+        Json.Obj
+          (List.map (fun (k, h) -> (k, histogram_json h)) (sorted_bindings t.histograms))
+      );
+    ]
+
+let pp_summary ppf t =
+  Format.fprintf ppf "@[<v>";
+  let first = ref true in
+  let cut () = if !first then first := false else Format.fprintf ppf "@," in
+  List.iter
+    (fun (k, c) ->
+      cut ();
+      Format.fprintf ppf "%-32s %d" k c.count)
+    (sorted_bindings t.counters);
+  List.iter
+    (fun (k, g) ->
+      cut ();
+      Format.fprintf ppf "%-32s %.3f" k g.value)
+    (sorted_bindings t.gauges);
+  List.iter
+    (fun (k, h) ->
+      cut ();
+      if h.h_count = 0 then Format.fprintf ppf "%-32s (empty)" k
+      else
+        Format.fprintf ppf "%-32s count=%d mean=%.2f min=%.0f max=%.0f p95=%.0f" k
+          h.h_count
+          (h.h_sum /. float_of_int h.h_count)
+          h.h_min h.h_max (percentile h 95.))
+    (sorted_bindings t.histograms);
+  Format.fprintf ppf "@]"

@@ -1,0 +1,63 @@
+(** The metrics registry: named counters, gauges and histograms,
+    exportable as one JSON document or a text summary.
+
+    Instruments are created on first use ([counter]/[gauge]/[histogram]
+    are get-or-create) and updates are O(1) field mutations, so recording
+    is cheap enough for per-message call sites. The registry itself is not
+    synchronized: concurrent producers must serialize through {!Obs}
+    (which holds a mutex around {!record_event}); single-threaded direct
+    use (bench harness, CLI) needs no locking.
+
+    {!record_event} derives the standard metrics of the event taxonomy —
+    per-link delivered/dropped counters, suspicion churn, decision and
+    crash counts, the stabilization-time histogram from window-close
+    events, checker case/violation/dedup counters — so any component that
+    emits events gets its metrics for free; components may additionally
+    record bespoke instruments (explorer throughput, per-domain
+    utilization) directly. *)
+
+type t
+
+val create : unit -> t
+
+(** No instrument has been created. *)
+val is_empty : t -> bool
+
+type counter
+
+val counter : t -> string -> counter
+val inc : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+type gauge
+
+val gauge : t -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** Histograms retain exact count/sum/min/max plus the first
+    [reservoir_capacity] samples for percentile estimates. *)
+type histogram
+
+val histogram : t -> string -> histogram
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** [percentile h p] with [p] in [0,100], nearest-rank over the retained
+    samples; [nan] when empty. *)
+val percentile : histogram -> float -> float
+
+val reservoir_capacity : int
+
+(** Fold the standard derivations of one event into the registry. *)
+val record_event : t -> Event.t -> unit
+
+(** Snapshot:
+    [{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,mean,p50,p95,p99}}}],
+    names sorted. *)
+val to_json : t -> Json.t
+
+(** Multi-line text summary in the same order as {!to_json}. *)
+val pp_summary : Format.formatter -> t -> unit

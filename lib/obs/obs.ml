@@ -1,0 +1,60 @@
+open Ftss_util
+
+type t = {
+  mutable sinks : Sink.t list;
+  registry : Metrics.t;
+  mutex : Mutex.t;
+}
+
+let create ?(sinks = []) ?metrics () =
+  {
+    sinks;
+    registry = (match metrics with Some m -> m | None -> Metrics.create ());
+    mutex = Mutex.create ();
+  }
+
+let add_sink t sink =
+  Mutex.lock t.mutex;
+  t.sinks <- t.sinks @ [ sink ];
+  Mutex.unlock t.mutex
+
+let emit t ev =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      Metrics.record_event t.registry ev;
+      List.iter (fun (s : Sink.t) -> s.Sink.emit ev) t.sinks)
+
+let metrics t = t.registry
+
+let with_metrics t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) (fun () -> f t.registry)
+
+let close t =
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () -> List.iter (fun (s : Sink.t) -> s.Sink.close ()) t.sinks)
+
+let suspect_diff t ~time ~observer ~before ~after =
+  if not (Pidset.equal before after) then begin
+    Pidset.iter
+      (fun subject ->
+        if not (Pidset.mem subject before) then
+          emit t { Event.time; body = Event.Suspect_add { observer; subject } })
+      after;
+    Pidset.iter
+      (fun subject ->
+        if not (Pidset.mem subject after) then
+          emit t { Event.time; body = Event.Suspect_remove { observer; subject } })
+      before
+  end
+
+let emit_windows t windows =
+  List.iter
+    (fun ((x, y), measured) ->
+      emit t { Event.time = x; body = Event.Window_open };
+      emit t { Event.time = y; body = Event.Window_close { opened = x; measured } })
+    windows

@@ -1,0 +1,63 @@
+type t = { emit : Event.t -> unit; close : unit -> unit }
+
+let make ~emit ~close = { emit; close }
+
+let null = { emit = (fun _ -> ()); close = (fun () -> ()) }
+
+let jsonl oc =
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Json.to_string (Event.to_json ev));
+        output_char oc '\n');
+    close = (fun () -> flush oc);
+  }
+
+let jsonl_file path =
+  let oc = open_out path in
+  let inner = jsonl oc in
+  { inner with close = (fun () -> close_out oc) }
+
+type ring = {
+  slots : Event.t option array;
+  mutable next : int; (* slot for the next event *)
+  mutable seen : int;
+}
+
+let ring ~capacity =
+  if capacity < 1 then invalid_arg "Sink.ring: capacity < 1";
+  { slots = Array.make capacity None; next = 0; seen = 0 }
+
+let ring_sink r =
+  let capacity = Array.length r.slots in
+  {
+    emit =
+      (fun ev ->
+        r.slots.(r.next) <- Some ev;
+        r.next <- (r.next + 1) mod capacity;
+        r.seen <- r.seen + 1);
+    close = (fun () -> ());
+  }
+
+let ring_contents r =
+  let capacity = Array.length r.slots in
+  let rec collect i acc =
+    if i = 0 then acc
+    else
+      let slot = r.slots.((r.next + capacity - i) mod capacity) in
+      collect (i - 1) (match slot with Some ev -> ev :: acc | None -> acc)
+  in
+  List.rev (collect capacity [])
+
+let ring_seen r = r.seen
+
+let console ?kinds ppf =
+  let keep =
+    match kinds with
+    | None -> fun _ -> true
+    | Some ks -> fun ev -> List.mem (Event.kind ev) ks
+  in
+  {
+    emit = (fun ev -> if keep ev then Format.fprintf ppf "%a@." Event.pp ev);
+    close = (fun () -> Format.pp_print_flush ppf ());
+  }

@@ -1,0 +1,45 @@
+(** Reading trace files back: the [ftss trace] summarizer.
+
+    Loads a JSON Lines event file written by {!Sink.jsonl} and answers
+    the questions the experiments care about — who suspected whom and
+    when, how fast each coterie-stable window stabilized, and which links
+    dropped messages under whose blame. *)
+
+open Ftss_util
+
+type t
+
+val of_events : Event.t list -> t
+
+(** Parse a JSON Lines file. Blank lines are skipped; a malformed line or
+    an unrecognizable event record is an error naming the line number. *)
+val load : string -> (t, string) result
+
+val events : t -> Event.t list
+val length : t -> int
+
+(** Events per {!Event.kind}, in {!Event.kinds} order, zero-count kinds
+    omitted. *)
+val kind_counts : t -> (string * int) list
+
+(** One entry per observer that ever changed its suspicion of anyone:
+    [(observer, changes)] with [changes] the ordered
+    [(time, subject, suspected?)] transitions. Observers ascending. *)
+val suspicion_timeline : t -> (Pid.t * (int * Pid.t * bool) list) list
+
+(** Closed stable windows [(opened, closed, measured d)], in emission
+    order. *)
+val windows : t -> (int * int * int) list
+
+(** The largest measured stabilization over all closed windows — the
+    run's measured [d]. [None] when the trace has no window events. *)
+val measured_stabilization : t -> int option
+
+(** Omission counts per directed link: [((src, dst), (count, blame))].
+    [blame] is the blamed endpoint of the link's first drop event. Links
+    sorted by [(src, dst)]. *)
+val blame_matrix : t -> ((Pid.t * Pid.t) * (int * Pid.t option)) list
+
+(** The full report: event census, windows with measured [d], per-process
+    suspicion timeline, and the omission blame matrix. *)
+val pp : Format.formatter -> t -> unit

@@ -133,5 +133,10 @@ let rolling_mute ~n ~victim ~period ~rounds =
 
 let consistent t ~observed = Pidset.subset observed t.faulty
 
+let blame t ~src ~dst =
+  if Pidset.mem src t.faulty then Some src
+  else if Pidset.mem dst t.faulty then Some dst
+  else None
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>faults: n=%d f=%d faulty=%a@]" t.n (f t) Pidset.pp t.faulty

@@ -81,4 +81,12 @@ val rolling_mute : n:int -> victim:Pid.t -> period:int -> rounds:int -> t
     misbehave in a trace is covered by the declared faulty set. *)
 val consistent : t -> observed:Pidset.t -> bool
 
+(** [blame t ~src ~dst] is the declared-faulty endpoint charged with an
+    omission on the [src -> dst] link, preferring the sender when both
+    are declared (mirroring the ambiguity rule of {!of_events}). [None]
+    when neither endpoint is declared faulty — a schedule inconsistent
+    with its own blame obligation. Used to annotate drop events in the
+    observability stream. *)
+val blame : t -> src:Pid.t -> dst:Pid.t -> Pid.t option
+
 val pp : Format.formatter -> t -> unit

@@ -1,24 +1,35 @@
 open Ftss_util
 
-let run ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protocol.t) =
+let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protocol.t) =
   if rounds < 1 then invalid_arg "Runner.run: rounds < 1";
   let n = Faults.n faults in
+  (* Observability: [traced] guards event *construction*, so the default
+     zero-sink path allocates nothing here. *)
+  let traced = Option.is_some obs in
+  let emit ev = match obs with Some o -> Ftss_obs.Obs.emit o ev | None -> () in
   let initial p =
     let s = protocol.init p in
     match corrupt with None -> s | Some c -> c p s
   in
+  if traced && corrupt <> None then
+    List.iter
+      (fun p -> emit { Ftss_obs.Event.time = 0; body = Ftss_obs.Event.Corrupt { pid = p } })
+      (Pid.all n);
   let states = Array.init n (fun p -> Some (initial p)) in
   let crashed_at = Array.make n None in
   let omissions = ref [] in
   let records = ref [] in
   for round = 1 to rounds do
+    if traced then emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Round_begin };
     (* Crashes scheduled for this round take effect before the broadcast. *)
     Array.iteri
       (fun p st ->
         match (st, Faults.crash_round faults p) with
         | Some _, Some cr when cr <= round ->
           states.(p) <- None;
-          crashed_at.(p) <- Some cr
+          crashed_at.(p) <- Some cr;
+          if traced then
+            emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Crash { pid = p } }
         | _ -> ())
       (Array.copy states);
     (* Mid-execution systemic failure, if scheduled. *)
@@ -27,7 +38,13 @@ let run ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protoco
         if r = round then
           Array.iteri
             (fun p st ->
-              match st with Some s -> states.(p) <- Some (c p s) | None -> ())
+              match st with
+              | Some s ->
+                states.(p) <- Some (c p s);
+                if traced then
+                  emit
+                    { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Corrupt { pid = p } }
+              | None -> ())
             (Array.copy states))
       corrupt_at;
     let states_before = Array.copy states in
@@ -35,7 +52,14 @@ let run ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protoco
       Array.init n (fun p ->
           match states.(p) with
           | None -> None
-          | Some s -> Some (protocol.broadcast p s))
+          | Some s ->
+            if traced then
+              emit
+                {
+                  Ftss_obs.Event.time = round;
+                  body = Ftss_obs.Event.Send { src = p; dst = None };
+                };
+            Some (protocol.broadcast p s))
     in
     let delivered =
       Array.init n (fun dst ->
@@ -46,12 +70,36 @@ let run ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protoco
                 match sent.(src) with
                 | None -> None
                 | Some payload ->
-                  if Pid.equal src dst then Some { Protocol.src; payload }
+                  if Pid.equal src dst then begin
+                    if traced then
+                      emit
+                        {
+                          Ftss_obs.Event.time = round;
+                          body = Ftss_obs.Event.Deliver { src; dst };
+                        };
+                    Some { Protocol.src; payload }
+                  end
                   else if Faults.drops faults ~round ~src ~dst then begin
                     omissions := (round, src, dst) :: !omissions;
+                    if traced then
+                      emit
+                        {
+                          Ftss_obs.Event.time = round;
+                          body =
+                            Ftss_obs.Event.Drop
+                              { src; dst; blame = Faults.blame faults ~src ~dst };
+                        };
                     None
                   end
-                  else Some { Protocol.src; payload })
+                  else begin
+                    if traced then
+                      emit
+                        {
+                          Ftss_obs.Event.time = round;
+                          body = Ftss_obs.Event.Deliver { src; dst };
+                        };
+                    Some { Protocol.src; payload }
+                  end)
               (Pid.all n))
     in
     Array.iteri
@@ -60,6 +108,7 @@ let run ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Protoco
         | None -> ()
         | Some s -> states.(p) <- Some (protocol.step p s delivered.(p)))
       (Array.copy states);
+    if traced then emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Round_end };
     records :=
       {
         Trace.round;

@@ -14,19 +14,28 @@
 open Ftss_util
 
 val run :
+  ?obs:Ftss_obs.Obs.t ->
   ?corrupt:(Pid.t -> 's -> 's) ->
   ?corrupt_at:(int * (Pid.t -> 's -> 's)) list ->
   faults:Faults.t ->
   rounds:int ->
   ('s, 'm) Protocol.t ->
   ('s, 'm) Trace.t
-(** [run ?corrupt ?corrupt_at ~faults ~rounds protocol] executes [rounds]
-    rounds. Semantics, per round [r] (1-based):
+(** [run ?obs ?corrupt ?corrupt_at ~faults ~rounds protocol] executes
+    [rounds] rounds. Semantics, per round [r] (1-based):
     - processes whose crash round is [<= r] take no action;
     - every live process broadcasts [protocol.broadcast];
     - the message from [src] to [dst] is delivered unless the schedule
       drops it; self-messages are always delivered (paper footnote 1);
     - every live process applies [protocol.step] to its deliveries,
       ordered by sender pid.
+
+    When [obs] is given, the runner emits the execution's event stream:
+    [Corrupt] per process at time 0 (initial systemic failure) and at the
+    round of each [corrupt_at] entry, then per round [Round_begin],
+    [Crash] on the round a crash takes effect, one broadcast [Send] per
+    live process, [Deliver]/[Drop] per directed link (drops carry
+    {!Faults.blame}), and [Round_end]. With [obs] absent the
+    instrumentation allocates nothing.
 
     Raises [Invalid_argument] if [rounds < 1]. *)

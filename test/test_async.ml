@@ -222,7 +222,7 @@ let run_esfd ?corrupt ~seed ~n ~crashes ~trusted () =
   let oracle =
     Ewfd.make (Rng.create (seed + 1)) ~n ~crashed ~gst:config.Sim.gst ~trusted ~noise:0.3
   in
-  let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle) in
+  let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle ()) in
   Esfd.analyze result ~config ~trusted
 
 let test_theorem5_clean_start () =
@@ -257,7 +257,7 @@ let test_theorem5_strong_completeness_is_the_transforms_work () =
   let oracle =
     Ewfd.make (Rng.create 62) ~n ~crashed ~gst:config.Sim.gst ~trusted:2 ~noise:0.0
   in
-  let result = Sim.run config (Esfd.process ~n ~oracle) in
+  let result = Sim.run config (Esfd.process ~n ~oracle ()) in
   (* With zero noise, only the designated observer (p0, the lowest-pid
      correct process) ever receives detect = true; p1..p3 rely entirely on
      the broadcast-merge. *)
@@ -296,7 +296,7 @@ let run_consensus ?corrupt ?(noise = 0.2) ~style ~seed ~n ~crashes ~trusted () =
   let oracle =
     Ewfd.make (Rng.create (seed + 7)) ~n ~crashed ~gst:config.Sim.gst ~trusted ~noise
   in
-  let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle) in
+  let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle ()) in
   (config, result)
 
 let test_consensus_baseline_clean_decides () =

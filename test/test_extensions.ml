@@ -243,7 +243,7 @@ let run_style ?corrupt ?(noise = 0.2) ~style ~seed () =
       ~trusted:1 ~noise
   in
   let result =
-    Sim.run ?corrupt config (Consensus.process ~n ~style ~propose:propose_async ~oracle)
+    Sim.run ?corrupt config (Consensus.process ~n ~style ~propose:propose_async ~oracle ())
   in
   (config, result)
 
@@ -298,7 +298,7 @@ let test_consensus_over_heartbeats () =
   let result =
     Sim.run ~corrupt config
       (Consensus.process_with ~n ~style:Consensus.self_stabilizing ~propose:propose_async
-         ~detector:(Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }))
+         ~detector:(Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }) ())
   in
   let correct = Sim.correct_set config in
   match Consensus.stabilization_time result ~correct ~propose:propose_async ~n with
@@ -323,7 +323,7 @@ let test_consensus_over_heartbeats_many_seeds () =
     let result =
       Sim.run config
         (Consensus.process_with ~n ~style:Consensus.self_stabilizing ~propose:propose_async
-           ~detector:(Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }))
+           ~detector:(Consensus.Heartbeats { initial_timeout = 30; backoff = 20 }) ())
     in
     let correct = Sim.correct_set config in
     let grouped = Consensus.per_instance (Consensus.decisions result) ~correct in
@@ -361,7 +361,7 @@ let test_ss_consensus_survives_forged_round_tags () =
   in
   let result =
     Sim.run ~spurious config
-      (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose:propose_async ~oracle)
+      (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose:propose_async ~oracle ())
   in
   let correct = Sim.correct_set config in
   let ds = Consensus.decisions result in
@@ -393,7 +393,7 @@ let test_ss_consensus_survives_forged_decide () =
   in
   let result =
     Sim.run ~spurious config
-      (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose:propose_async ~oracle)
+      (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose:propose_async ~oracle ())
   in
   let correct = Sim.correct_set config in
   match Consensus.stabilization_time result ~correct ~propose:propose_async ~n with

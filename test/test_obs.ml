@@ -1,0 +1,447 @@
+(* Unit tests for the observability layer: JSON encode/parse round-trips,
+   the event taxonomy, sinks, the metrics registry, the hub, the trace
+   summarizer, and the instrumentation of the runner / simulator /
+   explorer (including that traced runs match their untraced reports). *)
+
+open Ftss_util
+open Ftss_sync
+open Ftss_obs
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+(* --- Json --- *)
+
+let test_json_round_trip () =
+  let docs =
+    [
+      Json.Null;
+      Json.Bool true;
+      Json.Int (-42);
+      Json.Float 1.5;
+      Json.String "plain";
+      Json.String "esc \" \\ \n \t \x01 中";
+      Json.List [ Json.Int 1; Json.Null; Json.String "x" ];
+      Json.Obj
+        [
+          ("a", Json.Int 1);
+          ("nested", Json.Obj [ ("l", Json.List [ Json.Bool false ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun doc ->
+      match Json.of_string (Json.to_string doc) with
+      | Ok doc' -> check "round-trips" true (doc = doc')
+      | Error msg -> Alcotest.failf "parse error: %s" msg)
+    docs
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s -> check (Printf.sprintf "rejects %S" s) true (Result.is_error (Json.of_string s)))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "1 2"; "nul"; "\"unterminated" ]
+
+let test_json_accessors () =
+  match Json.of_string {|{"i":3,"f":2.5,"s":"v","b":true,"l":[1]}|} with
+  | Error msg -> Alcotest.failf "parse error: %s" msg
+  | Ok doc ->
+    check "int member" true (Option.bind (Json.member "i" doc) Json.to_int_opt = Some 3);
+    check "float member" true
+      (Option.bind (Json.member "f" doc) Json.to_float_opt = Some 2.5);
+    check "int as float" true
+      (Option.bind (Json.member "i" doc) Json.to_float_opt = Some 3.0);
+    check "missing member" true (Json.member "zzz" doc = None)
+
+(* --- Event --- *)
+
+let all_events =
+  [
+    { Event.time = 1; body = Event.Round_begin };
+    { Event.time = 1; body = Event.Round_end };
+    { Event.time = 2; body = Event.Send { src = 0; dst = None } };
+    { Event.time = 2; body = Event.Send { src = 0; dst = Some 1 } };
+    { Event.time = 3; body = Event.Deliver { src = 0; dst = 1 } };
+    { Event.time = 3; body = Event.Drop { src = 0; dst = 1; blame = Some 0 } };
+    { Event.time = 3; body = Event.Drop { src = 1; dst = 2; blame = None } };
+    { Event.time = 4; body = Event.Crash { pid = 2 } };
+    { Event.time = 0; body = Event.Corrupt { pid = 1 } };
+    { Event.time = 5; body = Event.Suspect_add { observer = 0; subject = 2 } };
+    { Event.time = 6; body = Event.Suspect_remove { observer = 0; subject = 2 } };
+    { Event.time = 7; body = Event.Decide { pid = 0; instance = 3; value = 55 } };
+    { Event.time = 8; body = Event.Window_open };
+    { Event.time = 9; body = Event.Window_close { opened = 8; measured = 2 } };
+    { Event.time = 0; body = Event.Case_start { case = 7 } };
+    { Event.time = 0; body = Event.Case_verdict { case = 7; ok = true; dedup = false; states = 12 } };
+  ]
+
+let test_event_round_trip () =
+  List.iter
+    (fun ev ->
+      match Event.of_json (Event.to_json ev) with
+      | Some ev' -> check (Event.kind ev ^ " round-trips") true (ev = ev')
+      | None -> Alcotest.failf "%s did not decode" (Event.kind ev))
+    all_events;
+  (* Every declared kind is exercised above. *)
+  let seen = List.sort_uniq compare (List.map Event.kind all_events) in
+  check_int "all kinds covered" (List.length Event.kinds) (List.length seen)
+
+let test_event_rejects_unknown () =
+  check "unknown tag" true
+    (Event.of_json (Json.Obj [ ("t", Json.Int 0); ("ev", Json.String "warp") ]) = None);
+  check "missing field" true
+    (Event.of_json (Json.Obj [ ("t", Json.Int 0); ("ev", Json.String "crash") ]) = None)
+
+(* --- Sinks --- *)
+
+let test_ring_eviction () =
+  let ring = Sink.ring ~capacity:3 in
+  let sink = Sink.ring_sink ring in
+  List.iteri
+    (fun i body -> sink.Sink.emit { Event.time = i; body })
+    [ Event.Round_begin; Event.Round_end; Event.Window_open; Event.Round_begin;
+      Event.Round_end ];
+  check_int "seen counts everything" 5 (Sink.ring_seen ring);
+  let kept = Sink.ring_contents ring in
+  check_int "capacity bounds retention" 3 (List.length kept);
+  Alcotest.(check (list int))
+    "oldest evicted, order oldest-first" [ 2; 3; 4 ]
+    (List.map (fun e -> e.Event.time) kept)
+
+let test_jsonl_and_load_round_trip () =
+  let path = Filename.temp_file "ftss_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Sink.jsonl_file path in
+      List.iter sink.Sink.emit all_events;
+      sink.Sink.close ();
+      match Trace_summary.load path with
+      | Error msg -> Alcotest.failf "load: %s" msg
+      | Ok t ->
+        check_int "every event loaded" (List.length all_events) (Trace_summary.length t);
+        check "events identical" true (Trace_summary.events t = all_events))
+
+let test_load_reports_bad_line () =
+  let path = Filename.temp_file "ftss_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc "{\"t\":0,\"ev\":\"round_begin\"}\nnot json\n";
+      close_out oc;
+      match Trace_summary.load path with
+      | Ok _ -> Alcotest.fail "malformed line accepted"
+      | Error msg ->
+        check "error names line 2" true
+          (let rec contains i =
+             i + 6 <= String.length msg
+             && (String.sub msg i 6 = "line 2" || contains (i + 1))
+           in
+           contains 0))
+
+let test_console_filter () =
+  let buf = Buffer.create 64 in
+  let ppf = Format.formatter_of_buffer buf in
+  let sink = Sink.console ~kinds:[ "crash" ] ppf in
+  List.iter sink.Sink.emit all_events;
+  sink.Sink.close ();
+  Format.pp_print_flush ppf ();
+  let out = Buffer.contents buf in
+  check "crash printed" true
+    (List.exists (fun l -> l <> "") (String.split_on_char '\n' out));
+  check "everything else filtered" false
+    (let rec contains i =
+       i + 6 <= String.length out && (String.sub out i 6 = "decide" || contains (i + 1))
+     in
+     contains 0)
+
+(* --- Metrics --- *)
+
+let test_metrics_counters_and_gauges () =
+  let m = Metrics.create () in
+  check "fresh registry is empty" true (Metrics.is_empty m);
+  let c = Metrics.counter m "hits" in
+  Metrics.inc c;
+  Metrics.add c 4;
+  check_int "counter accumulates" 5 (Metrics.counter_value c);
+  check_int "get-or-create returns same instrument" 5
+    (Metrics.counter_value (Metrics.counter m "hits"));
+  Metrics.set (Metrics.gauge m "level") 2.5;
+  check "gauge holds last value" true (Metrics.gauge_value (Metrics.gauge m "level") = 2.5);
+  check "registry no longer empty" false (Metrics.is_empty m)
+
+let test_metrics_histogram_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  check_int "count" 100 (Metrics.histogram_count h);
+  check "sum" true (Metrics.histogram_sum h = 5050.0);
+  check "p50 nearest-rank" true (Metrics.percentile h 50.0 = 50.0);
+  check "p95 nearest-rank" true (Metrics.percentile h 95.0 = 95.0);
+  check "p100 is max" true (Metrics.percentile h 100.0 = 100.0);
+  check "empty histogram is nan" true
+    (Float.is_nan (Metrics.percentile (Metrics.histogram m "empty") 50.0));
+  Alcotest.check_raises "percentile range checked"
+    (Invalid_argument "Metrics.percentile: p outside [0, 100]") (fun () ->
+      ignore (Metrics.percentile h 101.0))
+
+let test_metrics_record_event_and_json () =
+  let m = Metrics.create () in
+  List.iter (Metrics.record_event m) all_events;
+  let doc = Metrics.to_json m in
+  let counter name =
+    match Option.bind (Json.member "counters" doc) (Json.member name) with
+    | Some j -> Json.to_int_opt j
+    | None -> None
+  in
+  check "messages_sent" true (counter "messages_sent" = Some 2);
+  check "messages_dropped" true (counter "messages_dropped" = Some 2);
+  check "per-link drop counter" true (counter "link_dropped.0->1" = Some 1);
+  check "suspicion churn" true (counter "suspicion_churn" = Some 2);
+  check "decisions" true (counter "decisions" = Some 1);
+  (* The stabilization histogram was fed by the window close. *)
+  let stab =
+    Option.bind (Json.member "histograms" doc) (Json.member "stabilization")
+  in
+  check "stabilization histogram present" true (stab <> None);
+  check "measured d recorded" true
+    (Option.bind stab (fun h -> Option.bind (Json.member "max" h) Json.to_float_opt)
+    = Some 2.0);
+  (* The whole snapshot is parseable JSON. *)
+  check "snapshot round-trips" true
+    (match Json.of_string (Json.to_string doc) with Ok d -> d = doc | Error _ -> false);
+  (* And the text summary renders. *)
+  check "pp_summary renders" true
+    (String.length (Format.asprintf "%a" Metrics.pp_summary m) > 0)
+
+(* --- Obs hub --- *)
+
+let test_obs_fan_out_and_suspect_diff () =
+  let ring = Sink.ring ~capacity:16 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] () in
+  Obs.suspect_diff obs ~time:9 ~observer:0
+    ~before:(Pidset.of_list [ 1 ])
+    ~after:(Pidset.of_list [ 2 ]);
+  let kinds = List.map Event.kind (Sink.ring_contents ring) in
+  check "one add and one remove" true
+    (List.sort compare kinds = [ "suspect_add"; "suspect_remove" ]);
+  check_int "metrics recorded too" 2
+    (Metrics.counter_value (Metrics.counter (Obs.metrics obs) "suspicion_churn"))
+
+let test_obs_emit_windows () =
+  let ring = Sink.ring ~capacity:16 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] () in
+  Obs.emit_windows obs [ ((0, 10), 1); ((12, 30), 3) ];
+  let evs = Sink.ring_contents ring in
+  check_int "two pairs" 4 (List.length evs);
+  let t = Trace_summary.of_events evs in
+  Alcotest.(check (list (triple int int int)))
+    "windows reconstructed"
+    [ (0, 10, 1); (12, 30, 3) ]
+    (Trace_summary.windows t);
+  check "measured stabilization is the max" true
+    (Trace_summary.measured_stabilization t = Some 3)
+
+(* --- Trace_summary analyses --- *)
+
+let test_suspicion_timeline_and_blame () =
+  let t =
+    Trace_summary.of_events
+      [
+        { Event.time = 1; body = Event.Suspect_add { observer = 0; subject = 2 } };
+        { Event.time = 4; body = Event.Suspect_remove { observer = 0; subject = 2 } };
+        { Event.time = 2; body = Event.Suspect_add { observer = 1; subject = 0 } };
+        { Event.time = 3; body = Event.Drop { src = 1; dst = 0; blame = Some 1 } };
+        { Event.time = 5; body = Event.Drop { src = 1; dst = 0; blame = Some 1 } };
+        { Event.time = 6; body = Event.Drop { src = 0; dst = 2; blame = Some 2 } };
+      ]
+  in
+  (match Trace_summary.suspicion_timeline t with
+  | [ (0, changes0); (1, changes1) ] ->
+    check "observer 0 transitions" true (changes0 = [ (1, 2, true); (4, 2, false) ]);
+    check "observer 1 transitions" true (changes1 = [ (2, 0, true) ])
+  | other -> Alcotest.failf "unexpected timeline shape (%d observers)" (List.length other));
+  match Trace_summary.blame_matrix t with
+  | [ ((0, 2), (c1, b1)); ((1, 0), (c2, b2)) ] ->
+    check_int "0->2 count" 1 c1;
+    check "0->2 blames receiver" true (b1 = Some 2);
+    check_int "1->0 count" 2 c2;
+    check "1->0 blames sender" true (b2 = Some 1)
+  | other -> Alcotest.failf "unexpected matrix shape (%d links)" (List.length other)
+
+(* --- Instrumented components --- *)
+
+let counter_protocol : (int, int) Protocol.t =
+  {
+    Protocol.name = "counter";
+    init = (fun _ -> 0);
+    broadcast = (fun _ c -> c);
+    step = (fun _ c _ -> c + 1);
+  }
+
+let test_runner_events_match_trace () =
+  let n = 3 and rounds = 5 in
+  let faults =
+    Faults.of_events ~n
+      [
+        Faults.Drop { src = 1; dst = 0; round = 2 };
+        Faults.Drop { src = 1; dst = 2; round = 4 };
+        Faults.Crash { pid = 2; round = 5 };
+      ]
+  in
+  let ring = Sink.ring ~capacity:4096 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] () in
+  let trace = Runner.run ~obs ~faults ~rounds counter_protocol in
+  let evs = Sink.ring_contents ring in
+  let count k = List.length (List.filter (fun e -> Event.kind e = k) evs) in
+  check_int "one round_begin per round" rounds (count "round_begin");
+  check_int "one round_end per round" rounds (count "round_end");
+  check_int "one crash" 1 (count "crash");
+  (* Drop events mirror trace.omissions exactly. *)
+  let dropped =
+    List.filter_map
+      (fun e ->
+        match e.Event.body with
+        | Event.Drop { src; dst; _ } -> Some (e.Event.time, src, dst)
+        | _ -> None)
+      evs
+  in
+  Alcotest.(check (list (triple int int int)))
+    "drops mirror the recorded omissions" trace.Trace.omissions dropped;
+  (* Every drop is blamed on a declared-faulty endpoint. *)
+  List.iter
+    (fun e ->
+      match e.Event.body with
+      | Event.Drop { blame = Some b; _ } ->
+        check "blame declared faulty" true (Pidset.mem b trace.Trace.declared_faulty)
+      | Event.Drop { blame = None; _ } -> Alcotest.fail "unblamed drop"
+      | _ -> ())
+    evs;
+  (* Deliveries: every live pair minus the drops (self-deliveries are
+     never droppable). The metrics registry agrees. *)
+  check_int "delivered counter matches events"
+    (count "deliver")
+    (Metrics.counter_value (Metrics.counter (Obs.metrics obs) "messages_delivered"))
+
+let test_untraced_runner_unchanged () =
+  let n = 3 and rounds = 4 in
+  let faults =
+    Faults.of_events ~n [ Faults.Drop { src = 0; dst = 1; round = 2 } ]
+  in
+  let obs = Obs.create () in
+  let t1 = Runner.run ~faults ~rounds counter_protocol in
+  let t2 = Runner.run ~obs ~faults ~rounds counter_protocol in
+  check "traced run records the same history" true (t1 = t2)
+
+let test_sim_events_match_result () =
+  let open Ftss_async in
+  let n = 3 in
+  let config =
+    {
+      (Sim.default_config ~n ~seed:5) with
+      Sim.gst = 50;
+      horizon = 400;
+      tick_interval = 10;
+      crashes = [ (2, 200) ];
+    }
+  in
+  let ring = Sink.ring ~capacity:100_000 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] () in
+  let oracle =
+    Ewfd.make (Rng.create 3) ~n
+      ~crashed:(fun p -> List.assoc_opt p config.Sim.crashes)
+      ~gst:config.Sim.gst ~trusted:0 ~noise:0.2
+  in
+  let result = Sim.run ~obs config (Esfd.process ~obs ~n ~oracle ()) in
+  let evs = Sink.ring_contents ring in
+  let count k = List.length (List.filter (fun e -> Event.kind e = k) evs) in
+  check_int "deliver events match the simulator's count" result.Sim.delivered
+    (count "deliver");
+  check_int "crash emitted once" 1 (count "crash");
+  check "suspicion changes were emitted" true (count "suspect_add" > 0);
+  (* The observation log's suspect-set changes and the event stream agree
+     in count: every logged change produces at least one add/remove. *)
+  check "adds+removes cover log entries" true
+    (count "suspect_add" + count "suspect_remove" >= 1)
+
+let test_explore_case_events () =
+  let open Ftss_check in
+  let prop =
+    match Property.find ~name:"theorem3" ~inject:"none" with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  let params =
+    prop.Property.restrict
+      { Schedule_enum.n = 3; rounds = 2; f = 1; intervals = true; drops = true }
+  in
+  let cases = Schedule_enum.enumerate params in
+  let ring = Sink.ring ~capacity:100_000 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] () in
+  let stats, _ = Explore.run ~obs ~domains:2 prop cases in
+  let evs = Sink.ring_contents ring in
+  let count k = List.length (List.filter (fun e -> Event.kind e = k) evs) in
+  check_int "a start per case" (Array.length cases) (count "case_start");
+  check_int "a verdict per case" (Array.length cases) (count "case_verdict");
+  check_int "per-domain stats cover all cases" stats.Explore.cases
+    (Array.fold_left (fun a d -> a + d.Explore.d_cases) 0 stats.Explore.per_domain);
+  check_int "per-domain states sum" stats.Explore.states
+    (Array.fold_left (fun a d -> a + d.Explore.d_states) 0 stats.Explore.per_domain);
+  (* Bespoke gauges landed in the registry. *)
+  let m = Obs.metrics obs in
+  check "runs/sec gauge" true
+    (Metrics.gauge_value (Metrics.gauge m "explore_runs_per_sec") > 0.0);
+  (* stats JSON parses back. *)
+  check "stats json parses" true
+    (match Json.of_string (Json.to_string (Explore.to_json stats)) with
+    | Ok _ -> true
+    | Error _ -> false)
+
+let test_explore_stats_unchanged_by_obs () =
+  let open Ftss_check in
+  let prop =
+    match Property.find ~name:"theorem3" ~inject:"none" with
+    | Ok p -> p
+    | Error msg -> Alcotest.fail msg
+  in
+  let params =
+    prop.Property.restrict
+      { Schedule_enum.n = 3; rounds = 2; f = 1; intervals = true; drops = true }
+  in
+  let cases = Schedule_enum.enumerate params in
+  let s1, r1 = Explore.run ~domains:1 prop cases in
+  let s2, r2 = Explore.run ~obs:(Obs.create ()) ~domains:1 prop cases in
+  check "verdicts identical" true (r1 = r2);
+  check_int "distinct identical" s1.Explore.distinct s2.Explore.distinct;
+  check_int "dedup identical" s1.Explore.dedup_hits s2.Explore.dedup_hits
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "obs",
+      [
+        tc "json round-trips" `Quick test_json_round_trip;
+        tc "json rejects garbage" `Quick test_json_rejects_garbage;
+        tc "json accessors" `Quick test_json_accessors;
+        tc "event json round-trips every kind" `Quick test_event_round_trip;
+        tc "event decode is total" `Quick test_event_rejects_unknown;
+        tc "ring buffer bounds and evicts" `Quick test_ring_eviction;
+        tc "jsonl write/load round-trips" `Quick test_jsonl_and_load_round_trip;
+        tc "load names the malformed line" `Quick test_load_reports_bad_line;
+        tc "console sink filters by kind" `Quick test_console_filter;
+        tc "counters and gauges" `Quick test_metrics_counters_and_gauges;
+        tc "histogram percentiles" `Quick test_metrics_histogram_percentiles;
+        tc "record_event derivations + json snapshot" `Quick test_metrics_record_event_and_json;
+        tc "hub fan-out and suspect_diff" `Quick test_obs_fan_out_and_suspect_diff;
+        tc "emit_windows round-trips" `Quick test_obs_emit_windows;
+        tc "suspicion timeline and blame matrix" `Quick test_suspicion_timeline_and_blame;
+        tc "runner events mirror the trace" `Quick test_runner_events_match_trace;
+        tc "tracing does not change the history" `Quick test_untraced_runner_unchanged;
+        tc "sim events match the result" `Quick test_sim_events_match_result;
+        tc "explorer case events and per-domain stats" `Quick test_explore_case_events;
+        tc "explorer verdicts unchanged by tracing" `Quick test_explore_stats_unchanged_by_obs;
+      ] );
+  ]

@@ -223,6 +223,86 @@ let prop_gossip_monotone =
           mono 1)
         (Pid.all n))
 
+(* --- Trace.sub boundary remapping --- *)
+
+let sub_fixture () =
+  (* 8 rounds, p2 crashes at round 4, scattered omissions on p1's links
+     (p1 declared faulty). *)
+  let n = 3 in
+  let faults =
+    Faults.of_events ~n
+      [
+        Faults.Crash { pid = 2; round = 4 };
+        Faults.Drop { src = 1; dst = 0; round = 2 };
+        Faults.Drop { src = 1; dst = 0; round = 5 };
+        Faults.Drop { src = 0; dst = 1; round = 7 };
+      ]
+  in
+  Runner.run ~faults ~rounds:8 counter
+
+let test_sub_crash_before_window () =
+  (* Crash round 4 < window 6..8: the process enters the window already
+     dead, so its remapped crash round clamps to 1. *)
+  let s = Trace.sub (sub_fixture ()) ~first:6 ~last:8 in
+  check_int "clamped crash round" 1
+    (match s.Trace.crashed_at.(2) with Some r -> r | None -> -1);
+  check "still observed crashed" true (Pidset.mem 2 (Trace.crashed s));
+  check "no state once crashed" true (Trace.state_before s ~round:1 2 = None)
+
+let test_sub_crash_inside_window () =
+  (* Crash round 4 within window 3..8 remaps to 4 - 3 + 1 = 2. *)
+  let s = Trace.sub (sub_fixture ()) ~first:3 ~last:8 in
+  check_int "remapped crash round" 2
+    (match s.Trace.crashed_at.(2) with Some r -> r | None -> -1);
+  check "alive before the remapped round" true (Trace.alive s ~round:1 2);
+  check "dead from the remapped round" false (Trace.alive s ~round:2 2)
+
+let test_sub_crash_after_window () =
+  (* Crash round 4 > window 1..3: inside the sub-history the process
+     never crashes. *)
+  let s = Trace.sub (sub_fixture ()) ~first:1 ~last:3 in
+  check "crash erased" true (s.Trace.crashed_at.(2) = None);
+  check "not observed crashed in the window" false (Pidset.mem 2 (Trace.crashed s));
+  (* The *declared* faulty set is the schedule's — sub keeps it. *)
+  check "still declared faulty" false (Pidset.mem 2 (Trace.correct s));
+  check "alive through the window" true (Trace.alive s ~round:3 2)
+
+let test_sub_omission_filtering () =
+  let t = sub_fixture () in
+  (* Window 4..6 keeps only the round-5 drop, renumbered to round 2. *)
+  let s = Trace.sub t ~first:4 ~last:6 in
+  Alcotest.(check (list (triple int int int)))
+    "only in-window omissions, renumbered"
+    [ (2, 1, 0) ] s.Trace.omissions;
+  (* Window 1..2 keeps only the round-2 drop. *)
+  let s = Trace.sub t ~first:1 ~last:2 in
+  Alcotest.(check (list (triple int int int)))
+    "prefix omissions unchanged"
+    [ (2, 1, 0) ] s.Trace.omissions;
+  (* A window between the drops records none. *)
+  let s = Trace.sub t ~first:3 ~last:4 in
+  check_int "no omissions in a quiet window" 0 (List.length s.Trace.omissions);
+  (* The declared faulty set is the schedule's, not the window's. *)
+  check "declared faulty preserved" true (Pidset.mem 1 s.Trace.declared_faulty)
+
+let contains haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let test_pp_summary_and_rounds () =
+  let t = sub_fixture () in
+  let summary = Format.asprintf "%a" Trace.pp_summary t in
+  List.iter
+    (fun needle ->
+      check (Printf.sprintf "summary mentions %S" needle) true (contains summary needle))
+    [ "counter"; "n=3"; "rounds=8"; "omissions=3" ];
+  let rounds = Format.asprintf "%a" (Trace.pp_rounds Format.pp_print_int) t in
+  let lines = String.split_on_char '\n' rounds in
+  check "one line per round" true (List.length lines >= 8);
+  (* The crash marker appears once p2 is dead. *)
+  check "crash marker printed" true (contains rounds "!")
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -238,6 +318,11 @@ let suite =
         tc "declared faulty covers events" `Quick test_declared_faulty_covers_events;
         tc "observed faulty within declared" `Quick test_observed_faulty_subset_of_declared;
         tc "random omission spares correct links" `Quick test_random_omission_spares_correct_links;
+        tc "sub remaps crash before window" `Quick test_sub_crash_before_window;
+        tc "sub remaps crash inside window" `Quick test_sub_crash_inside_window;
+        tc "sub erases crash after window" `Quick test_sub_crash_after_window;
+        tc "sub filters and renumbers omissions" `Quick test_sub_omission_filtering;
+        tc "pp_summary and pp_rounds" `Quick test_pp_summary_and_rounds;
         tc "corruption applies at round 1" `Quick test_corruption_applies_at_round_1;
         tc "mid-run corruption" `Quick test_corrupt_at_mid_run;
         tc "sub-trace" `Quick test_sub_trace;
