@@ -757,7 +757,7 @@ let e11 m =
         "rand cov%"; "t x1 (s)"; "t xN (s)"; "speedup";
       ]
   in
-  let domains_n = max 2 (min 4 (Explore.available ())) in
+  let domains_n = max 2 (Explore.available ()) in
   let row name inject n rounds f =
     match Property.find ~name ~inject with
     | Error msg -> failwith msg
@@ -789,6 +789,14 @@ let e11 m =
       M.add (M.counter m "cases") total;
       M.add (M.counter m "states") stats1.Explore.states;
       M.observe (M.histogram m "speedup") speedup;
+      (* Single-domain throughput per row, so BENCH_E11.json tracks the
+         engine's per-case cost over time. *)
+      M.set
+        (M.gauge m (Printf.sprintf "runs_per_sec_x1.%s.%s.n%d.r%d.f%d" name inject n rounds f))
+        (Explore.runs_per_sec stats1);
+      M.set
+        (M.gauge m (Printf.sprintf "states_per_sec_x1.%s.%s.n%d.r%d.f%d" name inject n rounds f))
+        (Explore.states_per_sec stats1);
       Table.add_row table
         [
           name; inject; string_of_int n; string_of_int rounds; string_of_int f;

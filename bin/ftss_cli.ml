@@ -438,9 +438,9 @@ let domains_arg =
     & opt int 0
     & info [ "domains" ] ~docv:"D"
         ~doc:
-          "Worker domains for the parallel explorer; 0 means the recommended count. \
-           With more than one domain a single-domain pass also runs, to report the \
-           per-domain speedup.")
+          "Worker domains for the parallel explorer; 0 means auto — every available \
+           core ($(b,Explore.available ())). With more than one domain a \
+           single-domain pass also runs, to report the per-domain speedup.")
 
 let out_arg =
   Arg.(
@@ -495,7 +495,7 @@ let check_cmd =
             (List.length (Schedule_enum.corruptions params))
             (Array.length cases)
         end;
-        let domains = if domains <= 0 then min 4 (Explore.available ()) else domains in
+        let domains = if domains <= 0 then Explore.available () else domains in
         let stats, results = Explore.run ?obs ~domains prop cases in
         if json then begin
           print_endline (Ftss_obs.Json.to_string (Explore.to_json stats));

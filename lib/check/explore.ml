@@ -15,90 +15,90 @@ type stats = {
 
 let available () = Domain.recommended_domain_count ()
 
-(* The verdict cache. Verdicts are pure functions of the fingerprinted
-   execution, so a cached verdict is exactly what re-evaluation would
-   produce; the race where two domains evaluate the same fingerprint
-   concurrently is benign (both store the same value). The cache only
-   short-circuits work — the reported dedup statistics are recomputed
-   deterministically from the merged per-case fingerprints. *)
-type cache = { table : (string, Property.verdict) Hashtbl.t; mutex : Mutex.t }
-
-let cache_find cache key =
-  Mutex.lock cache.mutex;
-  let v = Hashtbl.find_opt cache.table key in
-  Mutex.unlock cache.mutex;
-  v
-
-let cache_store cache key v =
-  Mutex.lock cache.mutex;
-  if not (Hashtbl.mem cache.table key) then Hashtbl.add cache.table key v;
-  Mutex.unlock cache.mutex
-
 let run ?obs ?(domains = 1) (property : Property.t) cases =
   let len = Array.length cases in
   let domains = max 1 (min domains 64) in
   let results = Array.make len None in
-  let cache = { table = Hashtbl.create (max 16 len); mutex = Mutex.create () } in
   let next = Atomic.make 0 in
+  (* Chunked work claiming: one [fetch_and_add] hands a domain [chunk]
+     consecutive cases, so cache-line contention on the cursor is paid
+     once per chunk rather than once per case. Small enough chunks keep
+     the tail balanced across domains. *)
+  let chunk = max 1 (min 64 (len / (domains * 8))) in
   let traced = Option.is_some obs in
   let emit ev = match obs with Some o -> Ftss_obs.Obs.emit o ev | None -> () in
   (* Obs.emit and Obs.with_metrics serialize on the hub mutex, so the
      worker domains may share one hub; event construction is guarded on
      [traced] to keep the no-hub path allocation-free. *)
   let worker () =
+    (* The verdict cache, one per domain — no lock on the per-case path.
+       Verdicts are pure functions of the fingerprinted execution, so a
+       domain recomputing a fingerprint another domain has already seen
+       produces the identical verdict; per-domain caching costs at most
+       that recomputation and never changes a result. The reported dedup
+       statistics are not read from these caches: they are recomputed
+       deterministically from the merged per-case fingerprints below. *)
+    let cache = Hashtbl.create 256 in
     let my_cases = ref 0 and my_states = ref 0 and my_busy = ref 0. in
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < len then begin
-        if traced then begin
-          emit { Ftss_obs.Event.time = i; body = Ftss_obs.Event.Case_start { case = i } };
-          match obs with
-          | Some o ->
-            Ftss_obs.Obs.with_metrics o (fun m ->
-                Ftss_obs.Metrics.observe
-                  (Ftss_obs.Metrics.histogram m "explore_queue_depth")
-                  (float_of_int (len - i)))
-          | None -> ()
-        end;
+    let case i =
+      if traced then begin
+        emit { Ftss_obs.Event.time = i; body = Ftss_obs.Event.Case_start { case = i } };
+        match obs with
+        | Some o ->
+          Ftss_obs.Obs.with_metrics o (fun m ->
+              Ftss_obs.Metrics.observe
+                (Ftss_obs.Metrics.histogram m "explore_queue_depth")
+                (float_of_int (len - i)))
+        | None -> ()
+      end;
+      let r = property.Property.run cases.(i) in
+      let cached = Hashtbl.find_opt cache r.Property.fingerprint in
+      let verdict =
+        match cached with
+        | Some v -> v
+        | None ->
+          let v = Lazy.force r.Property.verdict in
+          Hashtbl.add cache r.Property.fingerprint v;
+          v
+      in
+      incr my_cases;
+      my_states := !my_states + r.Property.states;
+      if traced then
+        emit
+          {
+            Ftss_obs.Event.time = i;
+            body =
+              Ftss_obs.Event.Case_verdict
+                {
+                  case = i;
+                  ok = verdict.Property.ok;
+                  dedup = Option.is_some cached;
+                  states = r.Property.states;
+                };
+          };
+      results.(i) <-
+        Some
+          {
+            fingerprint = r.Property.fingerprint;
+            ok = verdict.Property.ok;
+            detail = verdict.Property.detail;
+            states = r.Property.states;
+          }
+    in
+    let rec claim () =
+      let first = Atomic.fetch_and_add next chunk in
+      if first < len then begin
+        let limit = min len (first + chunk) in
+        (* The clock is read once per chunk, not once per case. *)
         let t0 = Unix.gettimeofday () in
-        let r = property.Property.run cases.(i) in
-        let cached = cache_find cache r.Property.fingerprint in
-        let verdict =
-          match cached with
-          | Some v -> v
-          | None ->
-            let v = Lazy.force r.Property.verdict in
-            cache_store cache r.Property.fingerprint v;
-            v
-        in
+        for i = first to limit - 1 do
+          case i
+        done;
         my_busy := !my_busy +. (Unix.gettimeofday () -. t0);
-        incr my_cases;
-        my_states := !my_states + r.Property.states;
-        if traced then
-          emit
-            {
-              Ftss_obs.Event.time = i;
-              body =
-                Ftss_obs.Event.Case_verdict
-                  {
-                    case = i;
-                    ok = verdict.Property.ok;
-                    dedup = Option.is_some cached;
-                    states = r.Property.states;
-                  };
-            };
-        results.(i) <-
-          Some
-            {
-              fingerprint = r.Property.fingerprint;
-              ok = verdict.Property.ok;
-              detail = verdict.Property.detail;
-              states = r.Property.states;
-            };
-        loop ()
+        claim ()
       end
     in
-    loop ();
+    claim ();
     { d_cases = !my_cases; d_states = !my_states; d_busy = !my_busy }
   in
   let t0 = Unix.gettimeofday () in

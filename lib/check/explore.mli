@@ -1,12 +1,17 @@
 (** Parallel exhaustive exploration of an enumerated adversary space.
 
     A work queue over OCaml 5 [Domain]s: an atomic cursor hands each
-    domain the next case index; each domain executes the case's protocol
-    run, consults a shared fingerprint table, and either reuses the
-    verdict of an isomorphic earlier run (a {e dedup hit}) or evaluates
-    the property and publishes it. Results land in a per-case slot array,
-    so the merged outcome — verdicts, violation indices, distinct-trace
-    and dedup counts — is deterministic and independent of how the domains
+    domain a chunk of consecutive case indices (one [fetch_and_add] per
+    chunk, not per case); each domain executes the chunk's protocol runs,
+    consults its {e own} fingerprint table — no lock anywhere on the
+    per-case path — and either reuses the verdict of an isomorphic
+    earlier run (a {e dedup hit}) or evaluates the property and publishes
+    it. Verdicts are pure functions of the fingerprinted execution, so
+    per-domain caching can only cost recomputation, never change a
+    result. Results land in a per-case slot array and the dedup/distinct
+    statistics are recomputed from the merged fingerprints at join, so
+    the merged outcome — verdicts, violation indices, distinct-trace and
+    dedup counts — is deterministic and independent of how the domains
     interleaved; only the wall-clock numbers vary. *)
 
 (** Per-case outcome, in enumeration order. *)
@@ -34,12 +39,13 @@ type stats = {
     indexed like [cases].
 
     When [obs] is given, every case emits a [Case_start] and a
-    [Case_verdict] event (the [dedup] flag marks verdict-cache hits as
-    seen by the executing domain — a racy-but-benign underapproximation of
-    the deterministic [dedup_hits] figure), the work-queue depth at each
-    claim lands in the ["explore_queue_depth"] histogram, and the merged
+    [Case_verdict] event (the [dedup] flag marks hits in the executing
+    domain's own verdict cache — an underapproximation of the
+    deterministic [dedup_hits] figure), the work-queue depth at each case
+    lands in the ["explore_queue_depth"] histogram, and the merged
     throughput and per-domain utilization are recorded as gauges. All hub
-    access serializes on the hub's own mutex. *)
+    access serializes on the hub's own mutex. Per-domain busy time is
+    clocked once per claimed chunk. *)
 val run :
   ?obs:Ftss_obs.Obs.t ->
   ?domains:int ->

@@ -16,9 +16,17 @@ type t = {
 
 (* A content digest; equal digests imply equal recorded executions, hence
    equal verdicts (every predicate below is a pure function of the
-   execution). MD5's 128 bits keep accidental collisions out of reach of
-   any enumerable case count. *)
-let fingerprint v = Digest.string (Marshal.to_string v [])
+   execution). Trace-based properties read the 62-bit content hash the
+   runner streams as the trace is built ({!Trace.hash}) — no [Marshal]
+   serialisation, no [Digest] pass, no per-run allocation beyond the hex
+   rendering. Composite results (theorem 5) get the same two-stream
+   structural hash applied directly. *)
+let trace_fingerprint trace = Printf.sprintf "%016x" (Trace.hash trace)
+
+let fingerprint v =
+  Printf.sprintf "%08x-%08x"
+    (Hashtbl.seeded_hash_param max_int 256 0x1796 v)
+    (Hashtbl.seeded_hash_param max_int 256 0x9e37 v)
 
 let no_restrict (params : S.params) = params
 
@@ -48,7 +56,7 @@ let theorem3 ?(inject = `None) () =
         ~faults ~rounds protocol
     in
     {
-      fingerprint = fingerprint trace;
+      fingerprint = trace_fingerprint trace;
       states = n * rounds;
       verdict =
         lazy
@@ -105,7 +113,7 @@ let theorem4 ?(suspect_filter = true) () =
            in
            { ok; detail })
       in
-      { fingerprint = fingerprint trace; states = n * rounds; verdict }
+      { fingerprint = trace_fingerprint trace; states = n * rounds; verdict }
     in
     if suspect_filter then compile_and_run (Omission_consensus.make ~n ~f ~propose)
     else compile_and_run (Flooding_consensus.make ~f ~propose)

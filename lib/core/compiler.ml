@@ -36,15 +36,21 @@ let compile ?(suspect_filter = true) ~n (pi : ('s, 'd) Canonical.t) =
     { s = pi.Canonical.s_init p; c; suspects = Pidset.empty; last_decision; completed }
   in
   let step p st (deliveries : 's message Protocol.delivery list) =
+    (* One pass collects both delivery aggregates: S's evidence (who sent a
+       message tagged with p's current round number) and the Figure 1
+       round-agreement maximum. *)
+    let rec scan heard max_round = function
+      | [] -> (heard, max_round)
+      | { Protocol.src; payload } :: rest ->
+        scan
+          (if payload.round = st.c then Pidset.add src heard else heard)
+          (if payload.round > max_round then payload.round else max_round)
+          rest
+    in
+    let heard_current, max_round = scan Pidset.empty min_int deliveries in
     (* S: previously suspected processes, plus every process from which no
        message tagged with p's current round number arrived this round
        (whether omitted entirely or tagged with a disagreeing round). *)
-    let heard_current =
-      List.fold_left
-        (fun acc { Protocol.src; payload } ->
-          if payload.round = st.c then Pidset.add src acc else acc)
-        Pidset.empty deliveries
-    in
     let suspects = Pidset.union st.suspects (Pidset.diff everyone heard_current) in
     (* M: the Π-level messages (sender states), with suspects filtered out.
        The [suspect_filter = false] variant exists only for the E8 ablation:
@@ -59,11 +65,6 @@ let compile ?(suspect_filter = true) ~n (pi : ('s, 'd) Canonical.t) =
     let k = normalize ~final_round st.c in
     let s = pi.Canonical.transition p st.s m k in
     (* Round agreement superimposed on Π (Figure 1 embedded in Figure 3). *)
-    let max_round =
-      List.fold_left
-        (fun acc { Protocol.payload; _ } -> max acc payload.round)
-        min_int deliveries
-    in
     let c = max_round + 1 in
     if normalize ~final_round c = 1 then
       (* Iteration boundary: the transition just executed protocol round

@@ -32,6 +32,73 @@ let drops t ~round ~src ~dst =
     || List.exists (in_interval round) t.mute.(src)
     || List.exists (in_interval round) t.deaf.(dst)
 
+(* Precompiled drop tables: one bitmask row per round. [drops] above is
+   the reference semantics; the runner asks for the whole horizon up
+   front so its inner delivery loop does integer tests instead of
+   [Hashtbl.mem] plus two [List.exists] interval scans per link. *)
+type table =
+  | All_quiet  (* no omission scheduled anywhere in the horizon *)
+  | Rows of {
+      tn : int;
+      muted : int array;  (* round -> bitmask of pids send-omitting that round *)
+      deafened : int array;  (* round -> bitmask of pids receive-omitting *)
+      point : int array;  (* round * tn + src -> bitmask of dsts point-dropped *)
+      quiet : bool array;  (* round -> no drop of any kind scheduled *)
+    }
+
+let precompile t ~rounds =
+  if rounds < 0 then invalid_arg "Faults.precompile: negative rounds";
+  if t.n > Pidset.max_pid + 1 then
+    invalid_arg
+      (Printf.sprintf "Faults.precompile: n %d exceeds the %d-process bitmask cap" t.n
+         (Pidset.max_pid + 1));
+  if
+    Hashtbl.length t.point_drops = 0
+    && Array.for_all (fun l -> l = []) t.mute
+    && Array.for_all (fun l -> l = []) t.deaf
+  then All_quiet (* crash-only and failure-free schedules skip the rows *)
+  else begin
+    let muted = Array.make (rounds + 1) 0 in
+    let deafened = Array.make (rounds + 1) 0 in
+    let point = Array.make ((rounds + 1) * max 1 t.n) 0 in
+    let quiet = Array.make (rounds + 1) true in
+    for p = 0 to t.n - 1 do
+      let mark arr intervals =
+        List.iter
+          (fun (first, last) ->
+            for r = max 1 first to min last rounds do
+              arr.(r) <- arr.(r) lor (1 lsl p);
+              quiet.(r) <- false
+            done)
+          intervals
+      in
+      mark muted t.mute.(p);
+      mark deafened t.deaf.(p)
+    done;
+    Hashtbl.iter
+      (fun (round, src, dst) () ->
+        if 1 <= round && round <= rounds then begin
+          let i = (round * t.n) + src in
+          point.(i) <- point.(i) lor (1 lsl dst);
+          quiet.(round) <- false
+        end)
+      t.point_drops;
+    Rows { tn = t.n; muted; deafened; point; quiet }
+  end
+
+let quiet_round tbl ~round =
+  match tbl with All_quiet -> true | Rows r -> r.quiet.(round)
+
+let table_drops tbl ~round ~src ~dst =
+  match tbl with
+  | All_quiet -> false
+  | Rows r ->
+    src <> dst
+    && ((r.muted.(round) lsr src) land 1)
+       lor ((r.deafened.(round) lsr dst) land 1)
+       lor ((r.point.((round * r.tn) + src) lsr dst) land 1)
+       <> 0
+
 let none n =
   {
     n;

@@ -52,6 +52,30 @@ val crash_round : t -> Pid.t -> int option
     (paper footnote 1). *)
 val drops : t -> round:int -> src:Pid.t -> dst:Pid.t -> bool
 
+(** {2 Precompiled drop tables}
+
+    [drops] answers one query by a hash probe plus two interval-list
+    scans; the runner instead asks once for the whole horizon and gets
+    per-round bitmask rows, making each inner-loop query a few integer
+    instructions. Semantically [table_drops (precompile t ~rounds)] and
+    [drops t] agree on every [round <= rounds]. *)
+
+type table
+
+(** [precompile t ~rounds] builds the O(1) drop table for rounds
+    [1..rounds]. Raises [Invalid_argument] if [rounds < 0] or the system
+    exceeds the 62-process bitmask cap (see {!Pidset.max_pid}). *)
+val precompile : t -> rounds:int -> table
+
+(** [table_drops tbl ~round ~src ~dst] — as {!drops}, in O(1); [round]
+    must be within the horizon [precompile] was given. *)
+val table_drops : table -> round:int -> src:Pid.t -> dst:Pid.t -> bool
+
+(** [quiet_round tbl ~round] is true iff no omission of any kind is
+    scheduled in [round] — every sent message is delivered, so a runner
+    can build one delivery list and share it among all receivers. *)
+val quiet_round : table -> round:int -> bool
+
 (** [none n] is the failure-free schedule. *)
 val none : int -> t
 

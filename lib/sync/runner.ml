@@ -17,113 +17,144 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
       (Pid.all n);
   let states = Array.init n (fun p -> Some (initial p)) in
   let crashed_at = Array.make n None in
+  (* Schedule lookups hoisted out of the round loop: [crash.(p)] replaces a
+     per-round [Faults.crash_round] call, and [table] answers each link
+     query with a few integer tests instead of a hash probe plus two
+     interval-list scans. *)
+  let crash = Array.init n (fun p -> Faults.crash_round faults p) in
+  let table = Faults.precompile faults ~rounds in
+  (* Scratch buffer reused across every destination of every round: the
+     senders delivered to the current destination, ascending. *)
+  let senders = Array.make (max 1 n) 0 in
   let omissions = ref [] in
   let records = ref [] in
   for round = 1 to rounds do
     if traced then emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Round_begin };
     (* Crashes scheduled for this round take effect before the broadcast. *)
-    Array.iteri
-      (fun p st ->
-        match (st, Faults.crash_round faults p) with
-        | Some _, Some cr when cr <= round ->
-          states.(p) <- None;
-          crashed_at.(p) <- Some cr;
-          if traced then
-            emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Crash { pid = p } }
-        | _ -> ())
-      (Array.copy states);
+    for p = 0 to n - 1 do
+      match (states.(p), crash.(p)) with
+      | Some _, Some cr when cr <= round ->
+        states.(p) <- None;
+        crashed_at.(p) <- Some cr;
+        if traced then
+          emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Crash { pid = p } }
+      | _ -> ()
+    done;
     (* Mid-execution systemic failure, if scheduled. *)
     List.iter
       (fun (r, c) ->
         if r = round then
-          Array.iteri
-            (fun p st ->
-              match st with
-              | Some s ->
-                states.(p) <- Some (c p s);
-                if traced then
-                  emit
-                    { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Corrupt { pid = p } }
-              | None -> ())
-            (Array.copy states))
+          for p = 0 to n - 1 do
+            match states.(p) with
+            | Some s ->
+              states.(p) <- Some (c p s);
+              if traced then
+                emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Corrupt { pid = p } }
+            | None -> ()
+          done)
       corrupt_at;
     let states_before = Array.copy states in
-    let sent =
-      Array.init n (fun p ->
-          match states.(p) with
-          | None -> None
-          | Some s ->
-            if traced then
-              emit
-                {
-                  Ftss_obs.Event.time = round;
-                  body = Ftss_obs.Event.Send { src = p; dst = None };
-                };
-            Some (protocol.broadcast p s))
-    in
-    let delivered =
-      Array.init n (fun dst ->
-          if states.(dst) = None then []
-          else
-            List.filter_map
-              (fun src ->
-                match sent.(src) with
-                | None -> None
-                | Some payload ->
-                  if Pid.equal src dst then begin
-                    if traced then
-                      emit
-                        {
-                          Ftss_obs.Event.time = round;
-                          body = Ftss_obs.Event.Deliver { src; dst };
-                        };
-                    Some { Protocol.src; payload }
-                  end
-                  else if Faults.drops faults ~round ~src ~dst then begin
-                    omissions := (round, src, dst) :: !omissions;
-                    if traced then
-                      emit
-                        {
-                          Ftss_obs.Event.time = round;
-                          body =
-                            Ftss_obs.Event.Drop
-                              { src; dst; blame = Faults.blame faults ~src ~dst };
-                        };
-                    None
-                  end
-                  else begin
-                    if traced then
-                      emit
-                        {
-                          Ftss_obs.Event.time = round;
-                          body = Ftss_obs.Event.Deliver { src; dst };
-                        };
-                    Some { Protocol.src; payload }
-                  end)
-              (Pid.all n))
-    in
-    Array.iteri
-      (fun p st ->
-        match st with
+    let sent = Array.make n None in
+    for p = 0 to n - 1 do
+      match states.(p) with
+      | None -> ()
+      | Some s ->
+        if traced then
+          emit
+            { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Send { src = p; dst = None } };
+        sent.(p) <- Some (protocol.broadcast p s)
+    done;
+    let delivered = Array.make n [] in
+    if Faults.quiet_round table ~round then begin
+      (* No omission can occur this round, so every live receiver gets the
+         same deliveries: build the list once and share it — the dominant
+         allocation of a failure-free round drops from n^2 to n. *)
+      let full = ref [] in
+      for src = n - 1 downto 0 do
+        match sent.(src) with
+        | Some payload -> full := { Protocol.src; payload } :: !full
         | None -> ()
-        | Some s -> states.(p) <- Some (protocol.step p s delivered.(p)))
-      (Array.copy states);
+      done;
+      let full = !full in
+      for dst = 0 to n - 1 do
+        if not (Option.is_none states.(dst)) then begin
+          if traced then
+            List.iter
+              (fun { Protocol.src; _ } ->
+                emit
+                  { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Deliver { src; dst } })
+              full;
+          delivered.(dst) <- full
+        end
+      done
+    end
+    else
+    for dst = 0 to n - 1 do
+      if not (Option.is_none states.(dst)) then begin
+        (* First pass: decide every link in ascending sender order — the
+           order events, omissions and the delivery list are recorded in —
+           stashing surviving senders in the scratch buffer. *)
+        let count = ref 0 in
+        for src = 0 to n - 1 do
+          if not (Option.is_none sent.(src)) then
+            if src = dst || not (Faults.table_drops table ~round ~src ~dst) then begin
+              if traced then
+                emit
+                  { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Deliver { src; dst } };
+              senders.(!count) <- src;
+              incr count
+            end
+            else begin
+              omissions := (round, src, dst) :: !omissions;
+              if traced then
+                emit
+                  {
+                    Ftss_obs.Event.time = round;
+                    body =
+                      Ftss_obs.Event.Drop { src; dst; blame = Faults.blame faults ~src ~dst };
+                  }
+            end
+        done;
+        (* Second pass, descending, conses the delivery list directly in
+           ascending sender order — no [List.rev], no intermediate list. *)
+        let ds = ref [] in
+        for i = !count - 1 downto 0 do
+          let src = senders.(i) in
+          match sent.(src) with
+          | Some payload -> ds := { Protocol.src; payload } :: !ds
+          | None -> assert false
+        done;
+        delivered.(dst) <- !ds
+      end
+    done;
+    for p = 0 to n - 1 do
+      match states.(p) with
+      | None -> ()
+      | Some s -> states.(p) <- Some (protocol.step p s delivered.(p))
+    done;
     if traced then emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Round_end };
     records :=
-      {
-        Trace.round;
-        states_before;
-        sent;
-        delivered;
-        states_after = Array.copy states;
-      }
+      { Trace.round; states_before; sent; delivered; states_after = Array.copy states }
       :: !records
   done;
-  {
-    Trace.n;
-    protocol_name = protocol.name;
-    records = Array.of_list (List.rev !records);
-    crashed_at;
-    omissions = List.rev !omissions;
-    declared_faulty = Faults.faulty faults;
-  }
+  let records = Array.of_list (List.rev !records) in
+  let omissions = List.rev !omissions in
+  let declared_faulty = Faults.faulty faults in
+  let state_rounds =
+    (* Generator rounds of the content hash: the execution is a pure
+       function of the state vector entering round 1 plus any vector a
+       mid-run corruption rewrote (see trace.mli). *)
+    match corrupt_at with
+    | [] -> [ 1 ]
+    | _ ->
+      List.sort_uniq Int.compare
+        (1
+        :: List.filter_map
+             (fun (r, _) -> if 1 <= r && r <= rounds then Some r else None)
+             corrupt_at)
+  in
+  let hash =
+    Trace.compute_hash ~state_rounds ~records ~n ~protocol_name:protocol.name ~crashed_at
+      ~omissions ~declared_faulty
+  in
+  { Trace.n; protocol_name = protocol.name; records; crashed_at; omissions; declared_faulty; hash }

@@ -15,7 +15,40 @@ type ('s, 'm) t = {
   crashed_at : int option array;
   omissions : (int * Pid.t * Pid.t) list;
   declared_faulty : Pidset.t;
+  hash : int;
 }
+
+(* Content hashing. Two independently seeded structural-hash streams are
+   mixed into one 62-bit word: a single [Hashtbl.seeded_hash] yields only
+   ~30 bits, far too few for the checker's multi-million-case dedup
+   (birthday collisions would silently merge distinct executions). The
+   multiplier is an odd splitmix64-style constant that fits OCaml's
+   63-bit int. *)
+let mix h x =
+  let h = (h lxor x) * 0x2545F4914F6CDD1D in
+  (h lxor (h lsr 29)) land max_int
+
+(* The count budget must exceed any value we hash — truncation would hash
+   distinct structures equal by design, not by accident. *)
+let fold_value acc v =
+  mix
+    (mix acc (Hashtbl.seeded_hash_param max_int 256 0x1796 v))
+    (Hashtbl.seeded_hash_param max_int 256 0x9e37 v)
+
+let compute_hash ~state_rounds ~records ~n ~protocol_name ~crashed_at ~omissions
+    ~declared_faulty =
+  let len = Array.length records in
+  let acc =
+    List.fold_left
+      (fun acc r ->
+        if r < 1 || r > len then
+          invalid_arg (Printf.sprintf "Trace.compute_hash: round %d outside 1..%d" r len);
+        fold_value acc records.(r - 1).states_before)
+      0x0FC935EED state_rounds
+  in
+  fold_value acc (n, protocol_name, len, crashed_at, omissions, declared_faulty)
+
+let hash t = t.hash
 
 let length t = Array.length t.records
 
@@ -70,7 +103,16 @@ let sub t ~first ~last =
         if first <= r && r <= last then Some (r - first + 1, src, dst) else None)
       t.omissions
   in
-  { t with records; crashed_at; omissions }
+  let hash =
+    (* A window may start or end mid-corruption, so every entering state
+       vector is treated as a generator — sound whatever the original
+       execution did, at a cost only this cold path pays. *)
+    compute_hash
+      ~state_rounds:(List.init (Array.length records) (fun i -> i + 1))
+      ~records ~n:t.n ~protocol_name:t.protocol_name ~crashed_at ~omissions
+      ~declared_faulty:t.declared_faulty
+  in
+  { t with records; crashed_at; omissions; hash }
 
 let pp_summary ppf t =
   Format.fprintf ppf "%s: n=%d rounds=%d faulty=%a omissions=%d" t.protocol_name

@@ -30,6 +30,9 @@ type ('s, 'm) t = {
   declared_faulty : Pidset.t;
       (** the schedule's declared faulty set F (paper's bound f applies to
           this set) *)
+  hash : int;
+      (** content hash of the execution, folded as the trace is built; see
+          {!val:hash} *)
 }
 
 (** Number of recorded rounds [|H|]. *)
@@ -69,6 +72,42 @@ val alive : ('s, 'm) t -> round:int -> Pid.t -> bool
     construction. Raises [Invalid_argument] on an empty or out-of-range
     interval. *)
 val sub : ('s, 'm) t -> first:int -> last:int -> ('s, 'm) t
+
+(** {2 Content hashing}
+
+    Traces used to be fingerprinted by [Digest.string (Marshal.to_string t [])],
+    which serialises the whole history per run — the dominant allocation of a
+    checker sweep. The replacement hashes the {e generators} of the execution
+    instead: because protocols are deterministic (pure [broadcast]/[step], the
+    contract of {!Protocol.t}), a history is a function of the state vector
+    entering round 1 (plus any vector rewritten by a mid-run corruption), the
+    realized crash pattern, the realized omissions, and the trace metadata.
+    Equal hashes therefore imply equal executions exactly as with the Marshal
+    digest — up to hash collisions, kept negligible by mixing two
+    independently seeded structural-hash streams into one 62-bit word. *)
+
+(** The content hash of the trace, computed incrementally by {!Runner.run}
+    as the trace is built. Hashes are comparable between traces of the same
+    provenance (two runner traces, or two [sub] windows); a [sub] of a whole
+    trace hashes over more generators than the runner does and is not
+    comparable with the original's hash. *)
+val hash : ('s, 'm) t -> int
+
+(** [compute_hash ~state_rounds ...] folds the generators of a trace under
+    construction into its content hash. [state_rounds] lists the 1-based
+    rounds whose entering state vectors generate the execution: round 1,
+    plus every round a mid-run corruption rewrote. Raises
+    [Invalid_argument] if a listed round is outside the records. Exposed
+    for {!Runner}; ordinary consumers read {!val:hash}. *)
+val compute_hash :
+  state_rounds:int list ->
+  records:('s, 'm) round_record array ->
+  n:int ->
+  protocol_name:string ->
+  crashed_at:int option array ->
+  omissions:(int * Pid.t * Pid.t) list ->
+  declared_faulty:Pidset.t ->
+  int
 
 (** [pp_summary] prints a one-line summary (rounds, n, faults). *)
 val pp_summary : Format.formatter -> ('s, 'm) t -> unit

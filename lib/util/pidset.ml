@@ -1,8 +1,105 @@
-include Set.Make (Pid)
+(* An immutable bitset over pids 0..61: bit p set <=> p in the set. The
+   AVL-backed [Set.Make (Pid)] this replaces allocated a node per element
+   and walked pointers on every [union]/[diff]/[mem] in the simulator's
+   inner loop; here those are single integer instructions. *)
+
+type elt = Pid.t
+type t = int
+
+let max_pid = 61
+
+let check p =
+  if p < 0 || p > max_pid then
+    invalid_arg (Printf.sprintf "Pidset: pid %d outside 0..%d" p max_pid)
+
+let empty = 0
+let is_empty s = s = 0
+let mem p s = 0 <= p && p <= max_pid && (s lsr p) land 1 = 1
+
+let add p s =
+  check p;
+  s lor (1 lsl p)
+
+let singleton p =
+  check p;
+  1 lsl p
+
+let remove p s = if p < 0 || p > max_pid then s else s land lnot (1 lsl p)
+let union a b = a lor b
+let inter a b = a land b
+let diff a b = a land lnot b
+
+let cardinal s =
+  (* Kernighan: one iteration per set bit — sets here hold at most 62. *)
+  let rec go s acc = if s = 0 then acc else go (s land (s - 1)) (acc + 1) in
+  go s 0
+
+let equal (a : t) (b : t) = a = b
+let compare = Int.compare
+let subset a b = a land lnot b = 0
+let disjoint a b = a land b = 0
+
+(* Index of the lowest set bit of [s], [s] <> 0. *)
+let lowest_bit s =
+  let rec go s i = if s land 1 = 1 then i else go (s lsr 1) (i + 1) in
+  go s 0
+
+let iter f s =
+  let rec go s =
+    if s <> 0 then begin
+      let p = lowest_bit s in
+      f p;
+      go (s land (s - 1))
+    end
+  in
+  go s
+
+let fold f s init =
+  let rec go s acc =
+    if s = 0 then acc
+    else
+      let p = lowest_bit s in
+      go (s land (s - 1)) (f p acc)
+  in
+  go s init
+
+let for_all f s =
+  let rec go s = s = 0 || (f (lowest_bit s) && go (s land (s - 1))) in
+  go s
+
+let exists f s =
+  let rec go s = s <> 0 && (f (lowest_bit s) || go (s land (s - 1))) in
+  go s
+
+let filter f s = fold (fun p acc -> if f p then acc lor (1 lsl p) else acc) s empty
+let elements s = List.rev (fold (fun p acc -> p :: acc) s [])
+let to_list = elements
+let of_list ps = List.fold_left (fun acc p -> add p acc) empty ps
+let min_elt_opt s = if s = 0 then None else Some (lowest_bit s)
+
+let max_elt_opt s =
+  if s = 0 then None
+  else begin
+    let rec go s i best = if s = 0 then best else go (s lsr 1) (i + 1) (if s land 1 = 1 then i else best) in
+    Some (go s 0 0)
+  end
+
+let choose_opt = min_elt_opt
 
 let pp ppf s =
-  Format.fprintf ppf "{%a}" (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Pid.pp) (elements s)
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",") Pid.pp)
+    (elements s)
 
 let to_string s = Format.asprintf "%a" pp s
-let of_pred n pred = List.fold_left (fun acc p -> if pred p then add p acc else acc) empty (Pid.all n)
-let full n = of_list (Pid.all n)
+
+let of_pred n pred =
+  if n < 0 || n > max_pid + 1 then
+    invalid_arg (Printf.sprintf "Pidset.of_pred: n %d outside 0..%d" n (max_pid + 1));
+  let rec go p acc = if p < 0 then acc else go (p - 1) (if pred p then acc lor (1 lsl p) else acc) in
+  go (n - 1) empty
+
+let full n =
+  if n < 0 || n > max_pid + 1 then
+    invalid_arg (Printf.sprintf "Pidset.full: n %d outside 0..%d" n (max_pid + 1));
+  if n = 0 then 0 else (1 lsl n) - 1

@@ -1,6 +1,62 @@
-(** Sets of process identifiers. *)
+(** Sets of process identifiers, represented as a single int bitmask.
 
-include Set.S with type elt = Pid.t
+    Bit [p] of the representation is set iff pid [p] is in the set, so the
+    supported universe is [0 .. 61] (62 pids fit comfortably in OCaml's
+    63-bit native int, with a bit to spare). Every constructor that would
+    insert a pid outside that range raises [Invalid_argument]; membership
+    queries for out-of-range pids simply answer [false]. Within the cap,
+    [union], [inter], [diff], [subset], [mem], [equal] and [disjoint] are
+    single machine instructions and [cardinal] is a popcount — the whole
+    point: these sets sit on the simulator's per-delivery hot path
+    (suspect bookkeeping in the compiler, sender sets in the consensus
+    protocols, [Faults.correct]).
+
+    The interface mirrors the slice of [Set.S] the repository uses;
+    iteration orders ([iter], [fold], [elements], [to_list]) are ascending
+    by pid, exactly as with [Set.Make (Pid)]. *)
+
+type elt = Pid.t
+type t
+
+(** Largest representable pid: 61. [add], [singleton], [of_list],
+    [of_pred] and [full] raise [Invalid_argument] beyond it. *)
+val max_pid : int
+
+val empty : t
+val is_empty : t -> bool
+
+(** [mem p s] — [false] (never an exception) for pids outside [0..max_pid]. *)
+val mem : elt -> t -> bool
+
+val add : elt -> t -> t
+val singleton : elt -> t
+val remove : elt -> t -> t
+val union : t -> t -> t
+val inter : t -> t -> t
+
+(** [diff a b] is the set of elements of [a] not in [b]. *)
+val diff : t -> t -> t
+
+val cardinal : t -> int
+val equal : t -> t -> bool
+
+(** A total order on sets (consistent with [equal]; not necessarily the
+    [Set.Make] lexicographic order, which nothing in the repo relies on). *)
+val compare : t -> t -> int
+
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val iter : (elt -> unit) -> t -> unit
+val fold : (elt -> 'a -> 'a) -> t -> 'a -> 'a
+val for_all : (elt -> bool) -> t -> bool
+val exists : (elt -> bool) -> t -> bool
+val filter : (elt -> bool) -> t -> t
+val elements : t -> elt list
+val to_list : t -> elt list
+val of_list : elt list -> t
+val min_elt_opt : t -> elt option
+val max_elt_opt : t -> elt option
+val choose_opt : t -> elt option
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string

@@ -214,6 +214,91 @@ let test_replay_reproduces () =
       | Ok v -> check "counterexample reproduces" false v.Property.ok
       | Error msg -> Alcotest.failf "replay: %s" msg))
 
+(* --- Golden determinism: explorer verdicts pinned to the exact
+   violation sets and dedup counts the pre-overhaul Marshal-digest
+   fingerprints produced. --- *)
+
+let md5 s = Digest.to_hex (Digest.string s)
+
+let test_golden_explorer_verdicts () =
+  let prop = theorem3 ~inject:"frozen-exchange" in
+  let stats, _ = Explore.run ~domains:1 prop (Schedule_enum.enumerate (full 3 3 1)) in
+  check_int "frozen-exchange violations" 82 (List.length stats.Explore.violations);
+  Alcotest.(check string) "violation indices digest"
+    "a6103c173e5435d3a49ff3fb4a50607e"
+    (md5 (String.concat "," (List.map string_of_int stats.Explore.violations)));
+  check_int "frozen-exchange distinct traces" 500 stats.Explore.distinct;
+  let stats, _ =
+    Explore.run ~domains:1 (theorem3 ~inject:"none") (Schedule_enum.enumerate (full 3 2 1))
+  in
+  check_int "t3 cases" 290 stats.Explore.cases;
+  check_int "t3 distinct" 290 stats.Explore.distinct;
+  check_int "t3 violations" 0 (List.length stats.Explore.violations);
+  let theorem4 =
+    match Property.find ~name:"theorem4" ~inject:"none" with
+    | Ok p -> p
+    | Error msg -> failwith msg
+  in
+  let stats, _ = Explore.run ~domains:1 theorem4 (Schedule_enum.enumerate (full 3 4 1)) in
+  check_int "t4 cases" 755 stats.Explore.cases;
+  check_int "t4 distinct" 755 stats.Explore.distinct;
+  check_int "t4 violations" 0 (List.length stats.Explore.violations)
+
+(* --- The content hash partitions executions exactly as the structural
+   Marshal digest it replaced: over a corpus of runner executions, two
+   traces share a [Trace.hash] iff their marshalled representations are
+   byte-identical. One direction is the generator argument (trace.mli);
+   the other is collision-freedom on the corpus. --- *)
+
+let hash_partition_matches_marshal traces =
+  let digest_of_hash = Hashtbl.create 256 in
+  List.iter
+    (fun trace ->
+      let digest = Digest.string (Marshal.to_string trace []) in
+      let h = Ftss_sync.Trace.hash trace in
+      match Hashtbl.find_opt digest_of_hash h with
+      | None -> Hashtbl.add digest_of_hash h digest
+      | Some d ->
+        Alcotest.(check string) "equal hashes imply identical executions" d digest)
+    traces;
+  let digests = Hashtbl.fold (fun _ d acc -> d :: acc) digest_of_hash [] in
+  check_int "identical executions imply equal hashes"
+    (Hashtbl.length digest_of_hash)
+    (List.length (List.sort_uniq compare digests))
+
+let test_hash_partition_over_adversary_corpus () =
+  let params = full 3 3 1 in
+  let traces =
+    Array.to_list (Schedule_enum.enumerate params)
+    |> List.map (fun (case : Schedule_enum.t) ->
+           Ftss_sync.Runner.run
+             ~corrupt:(Schedule_enum.corrupt_int case.Schedule_enum.corruption)
+             ~faults:(Schedule_enum.to_faults case)
+             ~rounds:params.Schedule_enum.rounds
+             Ftss_core.Round_agreement.protocol)
+  in
+  hash_partition_matches_marshal traces
+
+let test_hash_partition_with_mid_run_corruption () =
+  (* Exercises the [corrupt_at] generator rounds of the hash: schedules
+     differing only in when (or how) a mid-run corruption strikes. *)
+  let open Ftss_sync in
+  let traces =
+    List.concat_map
+      (fun r ->
+        List.map
+          (fun k ->
+            let faults =
+              Faults.of_events ~n:3 [ Faults.Drop { src = 1; dst = 0; round = 2 } ]
+            in
+            Runner.run
+              ~corrupt_at:[ (r, fun p c -> c + (k * (p + 1))) ]
+              ~faults ~rounds:5 Ftss_core.Round_agreement.protocol)
+          [ 0; 1; 7; 100 ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  hash_partition_matches_marshal traces
+
 (* --- QCheck: shrinking from random failing cases --- *)
 
 let prop_shrink_preserves_failure =
@@ -257,6 +342,11 @@ let suite =
         tc "replay roundtrip covers every clause" `Quick test_replay_roundtrip_all_behaviours;
         tc "replay rejects malformed input" `Quick test_replay_rejects_malformed;
         tc "replayed counterexample reproduces" `Quick test_replay_reproduces;
+        tc "golden: explorer verdicts" `Quick test_golden_explorer_verdicts;
+        tc "hash partition = marshal partition (adversary corpus)" `Quick
+          test_hash_partition_over_adversary_corpus;
+        tc "hash partition = marshal partition (mid-run corruption)" `Quick
+          test_hash_partition_with_mid_run_corruption;
         to_alcotest prop_shrink_preserves_failure;
         to_alcotest prop_random_draws_in_space;
       ] );

@@ -322,6 +322,74 @@ let prop_compiled_round_agreement_random =
       let trace = Runner.run ~corrupt ~faults ~rounds (Compiler.compile ~n pi) in
       Solve.ftss_solves (Compiler.round_spec ()) ~stabilization:1 trace)
 
+(* --- Golden determinism: seeded core executions pinned to the exact
+   renderings the pre-overhaul engine produced. A drift anywhere in the
+   runner, the compiler step, or the RNG consumption order changes the
+   digest and fails here first. --- *)
+
+let md5 s = Digest.to_hex (Digest.string s)
+
+let test_golden_round_agreement () =
+  let rng = Rng.create 9 in
+  let faults = Faults.random_omission rng ~n:4 ~f:2 ~p_drop:0.45 ~rounds:12 in
+  let trace =
+    Runner.run
+      ~corrupt:(Round_agreement.corrupt_uniform rng ~bound:1000)
+      ~faults ~rounds:12 Round_agreement.protocol
+  in
+  let rendered = Format.asprintf "%a" (Trace.pp_rounds Format.pp_print_int) trace in
+  check_int "rendered length" 1011 (String.length rendered);
+  Alcotest.(check string) "pp_rounds digest" "8184f9f9355b5362bd7d78878221fa26"
+    (md5 rendered);
+  check_int "measured stabilization" 0
+    (Solve.measured_stabilization Round_agreement.spec trace);
+  check "ftss-solves with stabilization 1" true
+    (Solve.ftss_solves Round_agreement.spec ~stabilization:1 trace)
+
+let test_golden_compiled_consensus () =
+  let open Ftss_protocols in
+  let pi = Omission_consensus.make ~n:3 ~f:1 ~propose:(fun p -> 50 + p) in
+  let compiled = Compiler.compile ~n:3 pi in
+  let faults =
+    Faults.of_events ~n:3
+      [
+        Faults.Mute { pid = 1; first = 1; last = 2 };
+        Faults.Drop { src = 2; dst = 0; round = 5 };
+      ]
+  in
+  let corrupt p (st : _ Compiler.state) = { st with Compiler.c = 1 + ((p + 1) * 97) } in
+  let trace = Runner.run ~corrupt ~faults ~rounds:10 compiled in
+  let proj =
+    String.concat "\n"
+      (List.concat_map
+         (fun round ->
+           List.map
+             (fun p ->
+               match Trace.state_after trace ~round p with
+               | None -> Printf.sprintf "r%d p%d !" round p
+               | Some st ->
+                 Printf.sprintf "r%d p%d c=%d completed=%d last=%s suspects=%s" round p
+                   st.Compiler.c st.Compiler.completed
+                   (match st.Compiler.last_decision with
+                   | None -> "-"
+                   | Some d -> string_of_int d)
+                   (Pidset.to_string st.Compiler.suspects))
+             (Pid.all 3))
+         (List.init 10 (fun i -> i + 1)))
+  in
+  check_int "projection length" 1348 (String.length proj);
+  Alcotest.(check string) "state projection digest"
+    "107fd1fcd25142cea3da242601ead305" (md5 proj);
+  let valid d = d >= 50 && d < 53 in
+  let completed, agreeing =
+    Repeated.count_agreeing_iterations trace ~faulty:(Faults.faulty faults) ~valid
+  in
+  check_int "completed iterations" 3 completed;
+  check_int "agreeing iterations" 3 agreeing;
+  let spec = Repeated.round_and_sigma ~final_round:pi.Canonical.final_round ~valid () in
+  check "ftss-solves at the compiler's bound" true
+    (Solve.ftss_solves spec ~stabilization:(Compiler.stabilization_bound pi) trace)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -360,5 +428,10 @@ let suite =
         tc "Theorem 1 parameter sweep" `Quick test_theorem1_various_parameters;
         tc "Theorem 1 rejects equal rounds" `Quick test_theorem1_rejects_equal_rounds;
         tc "Theorem 2 confirmed" `Quick test_theorem2_confirmed;
+      ] );
+    ( "golden",
+      [
+        tc "round agreement under seeded omissions" `Quick test_golden_round_agreement;
+        tc "compiled omission consensus" `Quick test_golden_compiled_consensus;
       ] );
   ]

@@ -100,6 +100,83 @@ let test_table_renders () =
   check "contains cell" true
     (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0))
 
+(* --- Bitset Pidset: boundary behaviour and differential testing
+   against the reference [Set.Make (Pid)] it replaced. --- *)
+
+module Pidref = Set.Make (Pid)
+
+let test_pidset_boundaries () =
+  check_int "max_pid is 61" 61 Pidset.max_pid;
+  let top = Pidset.singleton Pidset.max_pid in
+  check "pid 61 representable" true (Pidset.mem 61 top);
+  check_int "full at the cap" 62 (Pidset.cardinal (Pidset.full 62));
+  check_int "of_pred at the cap" 31
+    (Pidset.cardinal (Pidset.of_pred 62 (fun p -> p mod 2 = 0)));
+  let oob = Invalid_argument "Pidset: pid 62 outside 0..61" in
+  Alcotest.check_raises "add beyond cap" oob (fun () ->
+      ignore (Pidset.add 62 Pidset.empty));
+  Alcotest.check_raises "singleton beyond cap" oob (fun () ->
+      ignore (Pidset.singleton 62));
+  Alcotest.check_raises "of_list beyond cap" oob (fun () ->
+      ignore (Pidset.of_list [ 0; 62 ]));
+  Alcotest.check_raises "negative pid"
+    (Invalid_argument "Pidset: pid -1 outside 0..61") (fun () ->
+      ignore (Pidset.add (-1) Pidset.empty));
+  Alcotest.check_raises "of_pred beyond cap"
+    (Invalid_argument "Pidset.of_pred: n 63 outside 0..62") (fun () ->
+      ignore (Pidset.of_pred 63 (fun _ -> true)));
+  Alcotest.check_raises "full beyond cap"
+    (Invalid_argument "Pidset.full: n 63 outside 0..62") (fun () ->
+      ignore (Pidset.full 63));
+  (* Queries never raise out of range. *)
+  check "mem out of range is false" false (Pidset.mem 99 (Pidset.full 62));
+  check "mem negative is false" false (Pidset.mem (-5) (Pidset.full 62));
+  check "remove out of range is identity" true
+    (Pidset.equal (Pidset.full 62) (Pidset.remove 99 (Pidset.full 62)))
+
+let prop_pidset_matches_reference =
+  let pid_list = QCheck.(list_of_size Gen.(0 -- 40) (int_bound Pidset.max_pid)) in
+  QCheck.Test.make ~name:"bitset Pidset agrees with Set.Make (Pid) on every operation"
+    ~count:500
+    QCheck.(pair pid_list pid_list)
+    (fun (xs, ys) ->
+      let b = Pidset.of_list xs and b' = Pidset.of_list ys in
+      let r = Pidref.of_list xs and r' = Pidref.of_list ys in
+      let same s m = Pidset.elements s = Pidref.elements m in
+      let even p = p mod 2 = 0 in
+      same b r && same b' r'
+      && same (Pidset.union b b') (Pidref.union r r')
+      && same (Pidset.inter b b') (Pidref.inter r r')
+      && same (Pidset.diff b b') (Pidref.diff r r')
+      && same (Pidset.add 17 b) (Pidref.add 17 r)
+      && same (Pidset.remove 17 b) (Pidref.remove 17 r)
+      && same (Pidset.singleton 61) (Pidref.singleton 61)
+      && same (Pidset.filter even b) (Pidref.filter even r)
+      && Pidset.is_empty b = Pidref.is_empty r
+      && Pidset.cardinal b = Pidref.cardinal r
+      && Pidset.equal b b' = Pidref.equal r r'
+      (* [Pidset.compare] promises only a total order consistent with
+         [equal], so compare the zero/non-zero outcome, not the sign. *)
+      && (Pidset.compare b b' = 0) = (Pidref.compare r r' = 0)
+      && Pidset.subset b b' = Pidref.subset r r'
+      && Pidset.disjoint b b' = Pidref.disjoint r r'
+      && List.for_all (fun p -> Pidset.mem p b = Pidref.mem p r) (Pid.all 62)
+      && Pidset.to_list b = Pidref.to_list r
+      && (let acc = ref [] in
+          Pidset.iter (fun p -> acc := p :: !acc) b;
+          !acc = Pidref.fold (fun p acc -> p :: acc) r [])
+      && Pidset.fold (fun p acc -> p :: acc) b []
+         = Pidref.fold (fun p acc -> p :: acc) r []
+      && Pidset.for_all even b = Pidref.for_all even r
+      && Pidset.exists even b = Pidref.exists even r
+      && Pidset.min_elt_opt b = Pidref.min_elt_opt r
+      && Pidset.max_elt_opt b = Pidref.max_elt_opt r
+      (* [Set.choose_opt] picks an unspecified element; only demand that
+         ours is a member of the same set. *)
+      && (match Pidset.choose_opt b with
+         | None -> Pidref.is_empty r
+         | Some p -> Pidref.mem p r))
+
 (* Property tests. *)
 
 let prop_percentile_bounded =
@@ -126,6 +203,8 @@ let suite =
       [
         tc "pid.all and validity" `Quick test_pid_all;
         tc "pidset helpers" `Quick test_pidset_helpers;
+        tc "pidset bitset boundaries" `Quick test_pidset_boundaries;
+        QCheck_alcotest.to_alcotest prop_pidset_matches_reference;
         tc "pidmap init" `Quick test_pidmap_init;
         tc "rng determinism" `Quick test_rng_determinism;
         tc "rng copy" `Quick test_rng_copy_independent;
