@@ -568,6 +568,144 @@ let check_cmd =
           a minimal replayable file.")
     term
 
+(* --- fuzz: coverage-guided adversary fuzzing (ftss_fuzz) --- *)
+
+let budget_conv =
+  let parse s =
+    let open Ftss_fuzz.Fuzz in
+    let len = String.length s in
+    if len > 1 && s.[len - 1] = 's' then
+      match float_of_string_opt (String.sub s 0 (len - 1)) with
+      | Some x when x > 0. -> Ok (Seconds x)
+      | _ -> Error (`Msg (Printf.sprintf "invalid budget %S (want N or Ns)" s))
+    else
+      match int_of_string_opt s with
+      | Some k when k > 0 -> Ok (Cases k)
+      | _ -> Error (`Msg (Printf.sprintf "invalid budget %S (want N or Ns)" s))
+  in
+  let print ppf = function
+    | Ftss_fuzz.Fuzz.Cases k -> Format.fprintf ppf "%d" k
+    | Ftss_fuzz.Fuzz.Seconds x -> Format.fprintf ppf "%gs" x
+  in
+  Arg.conv (parse, print)
+
+let budget_arg =
+  Arg.(
+    value
+    & opt budget_conv (Ftss_fuzz.Fuzz.Cases 5000)
+    & info [ "budget" ] ~docv:"N|Ns"
+        ~doc:
+          "Fuzzing budget: a case count ($(b,5000)) or a wall-clock time in seconds \
+           ($(b,30s)). The seed phase — the exhaustive catalogue plus any persisted \
+           corpus — always runs to completion under a time budget.")
+
+let corpus_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "corpus-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist the corpus: entries in $(docv) seed the run, and every input that \
+           grew coverage is written back, one S-expression file per execution \
+           fingerprint.")
+
+let fuzz_cmd =
+  let run n f rounds property inject seed budget corpus_dir domains json trace_out
+      metrics_out =
+    with_obs trace_out metrics_out @@ fun obs ->
+    let open Ftss_check in
+    let module M = Ftss_fuzz.Mutate in
+    let module F = Ftss_fuzz.Fuzz in
+    match Property.find ~name:property ~inject with
+    | Error msg ->
+      Format.eprintf "fuzz: %s@." msg;
+      2
+    | Ok prop -> (
+      let config =
+        {
+          F.seed;
+          budget;
+          domains;
+          params = { M.n; rounds; f; allow_drops = true };
+          corpus_dir;
+        }
+      in
+      match F.run ?obs config prop with
+      | exception Invalid_argument msg ->
+        Format.eprintf "fuzz: %s@." msg;
+        2
+      | Error msg ->
+        Format.eprintf "fuzz: %s@." msg;
+        2
+      | Ok stats ->
+        (* Self-verification: every reported violation must survive
+           persist -> reload -> replay, and shrink deterministically to a
+           still-failing local minimum. A violation that does not is a
+           fuzzer bug, not a protocol bug — distinct exit code. *)
+        let reproducible (v : F.violation) =
+          (match M.of_string (M.to_string v.F.v_genome) with
+          | Ok g -> M.equal g v.F.v_genome && F.genome_fails prop g
+          | Error _ -> false)
+          && F.genome_fails prop v.F.v_shrunk
+          && M.equal v.F.v_shrunk (F.shrink_genome prop v.F.v_genome)
+        in
+        let broken = List.filter (fun v -> not (reproducible v)) stats.F.violations in
+        if json then print_endline (Ftss_obs.Json.to_string (F.to_json stats))
+        else begin
+          Format.printf "property: %s (inject: %s)@." prop.Property.name
+            prop.Property.inject;
+          Format.printf "parameters: n=%d rounds=%d f=%d@." n rounds f;
+          Format.printf "%a@." F.pp_stats stats;
+          List.iter
+            (fun (v : F.violation) ->
+              Format.printf "violation (%s phase): %a@."
+                (if v.F.v_seed then "seed" else "mutation")
+                M.pp v.F.v_genome;
+              Format.printf "  shrunk (size %d -> %d): %a@." (M.size v.F.v_genome)
+                (M.size v.F.v_shrunk) M.pp v.F.v_shrunk;
+              Format.printf "  %s@." v.F.v_detail)
+            stats.F.violations
+        end;
+        match (broken, stats.F.violations) with
+        | _ :: _, _ ->
+          List.iter
+            (fun (v : F.violation) ->
+              Format.eprintf "fuzz: violation %s did not reproduce or re-shrink@."
+                v.F.v_fingerprint)
+            broken;
+          3
+        | [], [] -> 0
+        | [], _ :: _ -> 1)
+  in
+  let term =
+    let n_arg =
+      Arg.(
+        value
+        & opt int 3
+        & info [ "n"; "num-processes" ] ~docv:"N" ~doc:"Number of processes.")
+    in
+    let f_arg =
+      Arg.(
+        value
+        & opt int 1
+        & info [ "f"; "faults" ] ~docv:"F" ~doc:"Bound on faulty processes.")
+    in
+    Term.(
+      const run $ n_arg $ f_arg $ check_rounds_arg $ property_arg $ inject_arg
+      $ seed_arg $ budget_arg $ corpus_dir_arg $ domains_arg $ json_arg
+      $ trace_out_arg $ metrics_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Coverage-guided adversary fuzzing over arbitrary drop matrices, crash points \
+          and raw state corruptions — seeded with the exhaustive catalogue, so the \
+          seed phase alone rediscovers everything $(b,check) finds, then mutation \
+          searches beyond it. Violations are auto-shrunk and self-verified \
+          (persist, reload, replay); exit 1 = reproducible violations found, \
+          3 = a violation failed self-verification.")
+    term
+
 (* --- replay --- *)
 
 let replay_cmd =
@@ -662,5 +800,5 @@ let () =
        (Cmd.group info
           [
             round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
-            impossibility_cmd; check_cmd; replay_cmd; trace_cmd;
+            impossibility_cmd; check_cmd; fuzz_cmd; replay_cmd; trace_cmd;
           ]))

@@ -54,6 +54,7 @@ type ('s, 'o) result = {
   log : (time * Pid.t * 'o) list;
   delivered : int;
   dropped_after_crash : int;
+  dropped_by_adversary : int;
   end_time : time;
 }
 
@@ -68,7 +69,7 @@ let crashed_set config =
 
 let correct_set config = Pidset.diff (Pidset.full config.n) (crashed_set config)
 
-let run ?obs ?corrupt ?(spurious = []) config process =
+let run ?obs ?corrupt ?drop ?(spurious = []) config process =
   if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
   if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
   let rng = Rng.create config.seed in
@@ -103,6 +104,17 @@ let run ?obs ?corrupt ?(spurious = []) config process =
   let log = ref [] in
   let delivered = ref 0 in
   let dropped_after_crash = ref 0 in
+  let dropped_by_adversary = ref 0 in
+  (* The omission adversary, consulted at send time. Self-messages are
+     never dropped (the synchronous substrate's footnote-1 rule), and a
+     dropped message draws no delay — the schedule of surviving messages
+     under a drop matrix is therefore independent of which messages were
+     dropped, only of how many survive. *)
+  let adversary_drops ~at ~src ~dst =
+    match drop with
+    | None -> false
+    | Some d -> (not (Pid.equal src dst)) && d ~time:at ~src ~dst
+  in
   let delay ~at =
     let lo, hi = if at < config.gst then config.delay_before_gst else config.delay_after_gst in
     Rng.int_in rng (max 1 lo) (max 1 hi)
@@ -110,14 +122,25 @@ let run ?obs ?corrupt ?(spurious = []) config process =
   let flush_ctx ctx =
     List.iter
       (fun (dst, msg) ->
-        let t = ctx.ctx_now + delay ~at:ctx.ctx_now in
-        if traced then
-          emit
-            {
-              Ftss_obs.Event.time = ctx.ctx_now;
-              body = Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst };
-            };
-        Event_queue.push queue ~time:t (Deliver { src = ctx.ctx_self; dst; msg }))
+        if adversary_drops ~at:ctx.ctx_now ~src:ctx.ctx_self ~dst then begin
+          incr dropped_by_adversary;
+          if traced then
+            emit
+              {
+                Ftss_obs.Event.time = ctx.ctx_now;
+                body = Ftss_obs.Event.Drop { src = ctx.ctx_self; dst; blame = None };
+              }
+        end
+        else begin
+          let t = ctx.ctx_now + delay ~at:ctx.ctx_now in
+          if traced then
+            emit
+              {
+                Ftss_obs.Event.time = ctx.ctx_now;
+                body = Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst };
+              };
+          Event_queue.push queue ~time:t (Deliver { src = ctx.ctx_self; dst; msg })
+        end)
       (List.rev ctx.outbox);
     List.iter
       (fun o -> log := (ctx.ctx_now, ctx.ctx_self, o) :: !log)
@@ -193,5 +216,6 @@ let run ?obs ?corrupt ?(spurious = []) config process =
     log = List.rev !log;
     delivered = !delivered;
     dropped_after_crash = !dropped_after_crash;
+    dropped_by_adversary = !dropped_by_adversary;
     end_time = !end_time;
   }

@@ -69,23 +69,32 @@ type ('s, 'o) result = {
   log : (time * Pid.t * 'o) list;  (** observations, oldest first *)
   delivered : int;  (** messages delivered *)
   dropped_after_crash : int;  (** messages addressed to crashed processes *)
+  dropped_by_adversary : int;  (** messages suppressed by the [?drop] matrix *)
   end_time : time;
 }
 
-(** [run ?obs ?corrupt ?spurious config process] executes until the
+(** [run ?obs ?corrupt ?drop ?spurious config process] executes until the
     horizon (or until the event queue drains). [spurious
     (time, src, dst, msg)] events are injected into the channels at
-    start-up. When [obs] is given, the engine emits the run's event
-    stream: [Corrupt] per process at time 0 when [corrupt] is present,
-    one point [Send] per enqueued message at its send time, [Deliver] at
-    its delivery time, [Drop] (blaming the receiver) for messages
-    addressed to a crashed process, and [Crash] once per crashed process,
-    timestamped with its crash time. With [obs] absent the
-    instrumentation allocates nothing. Raises [Invalid_argument] on
+    start-up. [drop], when given, is an omission adversary consulted at
+    send time: a message from [src] to [dst] sent at [time] is silently
+    suppressed when the predicate holds. Self-messages are exempt (the
+    synchronous substrate's rule), and a suppressed message draws no
+    delay from the generator — the delivery schedule of the surviving
+    messages is therefore a function of the drop {e pattern} only, keeping
+    runs replayable under any deterministic matrix. When [obs] is given,
+    the engine emits the run's event stream: [Corrupt] per process at
+    time 0 when [corrupt] is present, one point [Send] per enqueued
+    message at its send time, [Deliver] at its delivery time, [Drop]
+    (blaming the receiver) for messages addressed to a crashed process and
+    [Drop] with no blame for adversary suppressions, and [Crash] once per
+    crashed process, timestamped with its crash time. With [obs] absent
+    the instrumentation allocates nothing. Raises [Invalid_argument] on
     non-positive [tick_interval] or [horizon]. *)
 val run :
   ?obs:Ftss_obs.Obs.t ->
   ?corrupt:(Pid.t -> 's -> 's) ->
+  ?drop:(time:time -> src:Pid.t -> dst:Pid.t -> bool) ->
   ?spurious:(time * Pid.t * Pid.t * 'm) list ->
   config ->
   ('s, 'm, 'o) process ->

@@ -5,12 +5,36 @@ open Ftss_protocols
 module S = Schedule_enum
 
 type verdict = { ok : bool; detail : string }
-type run = { fingerprint : string; states : int; verdict : verdict Lazy.t }
+
+type run = {
+  fingerprint : string;
+  states : int;
+  signature : int array Lazy.t;
+  verdict : verdict Lazy.t;
+}
+
+(* The adversary interface the theorem runners actually consume: a
+   compiled fault schedule plus the two corruption views (raw integer
+   rewriting for the synchronous theorems, a magnitude bound for the
+   asynchronous detector). [Schedule_enum.t] cases compile into this via
+   {!adversary_of_case}; the fuzzer's richer genomes compile into it
+   directly, so both front-ends share one evaluator per theorem. *)
+type adversary = {
+  adv_n : int;
+  adv_rounds : int;
+  adv_f : int;
+  adv_faults : Faults.t;
+  adv_corrupt_int : Pid.t -> int -> int;
+  adv_corrupt_bound : (int * int) option;
+  adv_crashes : (Pid.t * int) list;
+  adv_crash_only : bool;
+}
 
 type t = {
   name : string;
   inject : string;
   restrict : S.params -> S.params;
+  run_adv : adversary -> run;
   run : S.t -> run;
 }
 
@@ -30,6 +54,39 @@ let fingerprint v =
 
 let no_restrict (params : S.params) = params
 
+(* The (rng seed, num_bound) pair theorem 5 realises each canonical
+   corruption class with. Part of the case→adversary compilation so the
+   fingerprint of an enumerated case is identical through either
+   front-end. *)
+let corrupt_bound_of_class = function
+  | S.Clean -> None
+  | S.Zero -> Some (11, 1)
+  | S.Max -> Some (13, 1_000_000)
+  | S.Parked k -> Some (17, k + 1)
+  | S.Distinct -> Some (19, 997)
+
+let adversary_of_case (case : S.t) =
+  let { S.n; rounds; f; _ } = case.S.params in
+  {
+    adv_n = n;
+    adv_rounds = rounds;
+    adv_f = f;
+    adv_faults = S.to_faults case;
+    adv_corrupt_int = S.corrupt_int case.S.corruption;
+    adv_corrupt_bound = corrupt_bound_of_class case.S.corruption;
+    adv_crashes = S.crashes case;
+    adv_crash_only = S.crash_only case;
+  }
+
+let make ~name ~inject ~restrict run_adv =
+  {
+    name;
+    inject;
+    restrict;
+    run_adv;
+    run = (fun case -> run_adv (adversary_of_case case));
+  }
+
 (* --- Theorem 3: Figure 1 round agreement --- *)
 
 let theorem3 ?(inject = `None) () =
@@ -47,17 +104,16 @@ let theorem3 ?(inject = `None) () =
         },
         "frozen-exchange" )
   in
-  let run (case : S.t) =
-    let { S.n; rounds; _ } = case.S.params in
-    let faults = S.to_faults case in
+  let run_adv adv =
+    let rounds = adv.adv_rounds in
     let trace =
-      Runner.run
-        ~corrupt:(S.corrupt_int case.S.corruption)
-        ~faults ~rounds protocol
+      Runner.run ~corrupt:adv.adv_corrupt_int ~faults:adv.adv_faults ~rounds
+        protocol
     in
     {
       fingerprint = trace_fingerprint trace;
-      states = n * rounds;
+      states = adv.adv_n * rounds;
+      signature = lazy (Trace.round_signature ~project:(fun _ c -> c) trace);
       verdict =
         lazy
           (let stab = Round_agreement.stabilization_time in
@@ -73,32 +129,32 @@ let theorem3 ?(inject = `None) () =
            { ok; detail });
     }
   in
-  { name = "theorem3"; inject = inject_name; restrict = no_restrict; run }
+  make ~name:"theorem3" ~inject:inject_name ~restrict:no_restrict run_adv
 
 (* --- Theorem 4: the Figure 3 compiler --- *)
 
 let theorem4 ?(suspect_filter = true) () =
-  let run (case : S.t) =
-    let { S.n; rounds; f; _ } = case.S.params in
+  let run_adv adv =
+    let n = adv.adv_n and rounds = adv.adv_rounds and f = adv.adv_f in
     let propose p = 50 + p in
     (* With the filter on, Π is the intended compiler input under general
        omission (suspect-filtered, f+2 rounds). The ablated variant feeds
        the compiler *plain* flooding instead, as E8a does: omission
        consensus's internal distrust would mask the removed filter. *)
-    let faults = S.to_faults case in
+    let faults = adv.adv_faults in
     (* The trace's type depends on Π's state type, so everything derived
-       from it — fingerprint and verdict — is computed inside this
-       polymorphic helper; only monomorphic values escape. *)
+       from it — fingerprint, signature and verdict — is computed inside
+       this polymorphic helper; only monomorphic values escape. *)
     let compile_and_run pi =
       let compiled = Compiler.compile ~suspect_filter ~n pi in
       let corrupt p (st : _ Compiler.state) =
-        { st with Compiler.c = S.corrupt_int case.S.corruption p st.Compiler.c }
+        { st with Compiler.c = adv.adv_corrupt_int p st.Compiler.c }
       in
       let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let final_round = pi.Canonical.final_round in
       let verdict =
         lazy
           (let valid d = d >= 50 && d < 50 + n in
-           let final_round = pi.Canonical.final_round in
            let spec = Repeated.round_and_sigma ~final_round ~valid () in
            let bound = Compiler.stabilization_bound pi in
            let ok = Solve.ftss_solves spec ~stabilization:bound trace in
@@ -113,30 +169,42 @@ let theorem4 ?(suspect_filter = true) () =
            in
            { ok; detail })
       in
-      { fingerprint = trace_fingerprint trace; states = n * rounds; verdict }
+      let signature =
+        (* The observable registers of Π⁺: where the round variable sits
+           in its protocol phase, whom the process distrusts, and the two
+           output registers. The unbounded c is normalized first so two
+           rounds in the same phase of different iterations coincide. *)
+        lazy
+          (Trace.round_signature
+             ~project:(fun _ (st : _ Compiler.state) ->
+               Hashtbl.hash
+                 ( Compiler.normalize ~final_round st.Compiler.c,
+                   st.Compiler.suspects,
+                   st.Compiler.last_decision,
+                   st.Compiler.completed ))
+             trace)
+      in
+      { fingerprint = trace_fingerprint trace; states = n * rounds; signature; verdict }
     in
     if suspect_filter then compile_and_run (Omission_consensus.make ~n ~f ~propose)
     else compile_and_run (Flooding_consensus.make ~f ~propose)
   in
-  {
-    name = "theorem4";
-    inject = (if suspect_filter then "none" else "no-suspect-filter");
-    restrict = no_restrict;
-    run;
-  }
+  make ~name:"theorem4"
+    ~inject:(if suspect_filter then "none" else "no-suspect-filter")
+    ~restrict:no_restrict run_adv
 
 (* --- Theorem 5: the Figure 4 transform, on the asynchronous simulator --- *)
 
 let theorem5 () =
   let gst = 300 in
-  let run (case : S.t) =
+  let run_adv adv =
     let open Ftss_async in
-    let { S.n; rounds; _ } = case.S.params in
-    if not (S.crash_only case) then
+    let n = adv.adv_n in
+    if not adv.adv_crash_only then
       invalid_arg "Property.theorem5: schedule has non-crash behaviours";
     (* A crash at synchronous round r maps to simulated time 100·r, so
        every enumerated crash lands before GST — the adversarial window. *)
-    let crashes = List.map (fun (p, r) -> (p, 100 * r)) (S.crashes case) in
+    let crashes = List.map (fun (p, r) -> (p, 100 * r)) adv.adv_crashes in
     let config =
       {
         (Sim.default_config ~n ~seed:1) with
@@ -156,23 +224,30 @@ let theorem5 () =
     in
     let oracle = Ewfd.make (Rng.create 2) ~n ~crashed ~gst ~trusted ~noise:0.3 in
     let corrupt =
-      (* Canonical corruption classes realised through the detector's own
-         corruption shape: the counter magnitude distribution. *)
-      match case.S.corruption with
-      | S.Clean -> None
-      | S.Zero -> Some (Esfd.corrupt (Rng.create 11) ~num_bound:1)
-      | S.Max -> Some (Esfd.corrupt (Rng.create 13) ~num_bound:1_000_000)
-      | S.Parked k -> Some (Esfd.corrupt (Rng.create 17) ~num_bound:(k + 1))
-      | S.Distinct -> Some (Esfd.corrupt (Rng.create 19) ~num_bound:997)
+      (* Corruption realised through the detector's own corruption shape:
+         the counter magnitude distribution, parameterised by the
+         adversary's (seed, bound) pair. *)
+      Option.map
+        (fun (seed, num_bound) -> Esfd.corrupt (Rng.create seed) ~num_bound)
+        adv.adv_corrupt_bound
     in
     let corrupt = Option.map (fun c (_ : Pid.t) t -> c t) corrupt in
     let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle ()) in
     let report = Esfd.analyze result ~config ~trusted in
-    ignore rounds;
     {
       fingerprint =
         fingerprint (report, result.Sim.delivered, result.Sim.end_time, result.Sim.log);
       states = n * (config.Sim.horizon / config.Sim.tick_interval);
+      signature =
+        (* No per-round trace exists here; the coverage signal is the
+           coarse convergence profile of the run. *)
+        lazy
+          [|
+            Hashtbl.seeded_hash_param max_int 256 0x1796
+              (report.Esfd.completeness_from, report.Esfd.accuracy_from);
+            Hashtbl.seeded_hash_param max_int 256 0x9e37
+              (report.Esfd.convergence_time, result.Sim.delivered);
+          |];
       verdict =
         lazy
           (let show = function Some t -> string_of_int t | None -> "none" in
@@ -187,12 +262,9 @@ let theorem5 () =
            { ok; detail });
     }
   in
-  {
-    name = "theorem5";
-    inject = "none";
-    restrict = (fun params -> { params with S.intervals = false; drops = false });
-    run;
-  }
+  make ~name:"theorem5" ~inject:"none"
+    ~restrict:(fun params -> { params with S.intervals = false; drops = false })
+    run_adv
 
 let known =
   [

@@ -32,8 +32,39 @@ type verdict = { ok : bool; detail : string }
     execution: equal fingerprints imply equal verdicts, so the verdict of
     a duplicate run may be reused without forcing [verdict]. [states] is
     the number of process-round states the run simulated (the unit of the
-    explorer's throughput report). *)
-type run = { fingerprint : string; states : int; verdict : verdict Lazy.t }
+    explorer's throughput report). [signature] is the run's per-round
+    behavioural signature ({!Ftss_sync.Trace.round_signature} under a
+    theorem-specific observable projection; a coarse convergence profile
+    for the asynchronous theorem 5) — the fuzzer's coverage signal, lazy
+    because the explorer never forces it. *)
+type run = {
+  fingerprint : string;
+  states : int;
+  signature : int array Lazy.t;
+  verdict : verdict Lazy.t;
+}
+
+(** The adversary interface the theorem runners consume — what any case,
+    catalogued or fuzzed, compiles down to: a fault schedule, the raw
+    integer corruption used by the synchronous theorems, the (rng seed,
+    magnitude bound) corruption used by the asynchronous theorem 5
+    ([None] = clean), and the crash view theorem 5 needs ([adv_crash_only]
+    must hold for it). *)
+type adversary = {
+  adv_n : int;
+  adv_rounds : int;
+  adv_f : int;
+  adv_faults : Ftss_sync.Faults.t;
+  adv_corrupt_int : Ftss_util.Pid.t -> int -> int;
+  adv_corrupt_bound : (int * int) option;
+  adv_crashes : (Ftss_util.Pid.t * int) list;
+  adv_crash_only : bool;
+}
+
+(** [adversary_of_case case] compiles a catalogue case to the adversary
+    interface. [run_adv (adversary_of_case case) ≡ run case] by
+    construction, so fingerprints agree between the two front-ends. *)
+val adversary_of_case : Schedule_enum.t -> adversary
 
 type t = {
   name : string;
@@ -41,7 +72,9 @@ type t = {
   restrict : Schedule_enum.params -> Schedule_enum.params;
       (** narrows the enumeration to the schedules the property can
           interpret (e.g. crash-only for the asynchronous theorem 5) *)
-  run : Schedule_enum.t -> run;
+  run_adv : adversary -> run;
+      (** the evaluator proper; the fuzzer's entry point *)
+  run : Schedule_enum.t -> run;  (** [run_adv ∘ adversary_of_case] *)
 }
 
 (** [theorem3 ~inject:`Frozen_exchange ()] is the injected variant. *)

@@ -2,22 +2,23 @@ module S = Schedule_enum
 
 type t = { property : string; inject : string; case : S.t }
 
-(* --- a minimal S-expression layer --- *)
+(* --- a minimal S-expression layer, shared with ftss_fuzz's corpus files --- *)
 
-type sexp = Atom of string | List of sexp list
+module Sexp = struct
+  type t = Atom of string | List of t list
 
-let rec pp_sexp ppf = function
-  | Atom a -> Format.pp_print_string ppf a
-  | List xs ->
-    Format.fprintf ppf "(@[<hv>";
-    List.iteri
-      (fun i x ->
-        if i > 0 then Format.fprintf ppf "@ ";
-        pp_sexp ppf x)
-      xs;
-    Format.fprintf ppf "@])"
+  let rec pp ppf = function
+    | Atom a -> Format.pp_print_string ppf a
+    | List xs ->
+      Format.fprintf ppf "(@[<hv>";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Format.fprintf ppf "@ ";
+          pp ppf x)
+        xs;
+      Format.fprintf ppf "@])"
 
-let parse_sexp (s : string) : (sexp, string) result =
+  let parse (s : string) : (t, string) result =
   let len = String.length s in
   let pos = ref 0 in
   let peek () = if !pos < len then Some s.[!pos] else None in
@@ -69,10 +70,16 @@ let parse_sexp (s : string) : (sexp, string) result =
       if a = "" then Error "empty atom" else Ok (Atom a)
   in
   match value () with
-  | Error _ as e -> e
-  | Ok v ->
-    skip_ws ();
-    if !pos = len then Ok v else Error "trailing input after the counterexample"
+    | Error _ as e -> e
+    | Ok v ->
+      skip_ws ();
+      if !pos = len then Ok v else Error "trailing input after the document"
+end
+
+open Sexp
+
+let pp_sexp = Sexp.pp
+let parse_sexp = Sexp.parse
 
 (* --- writing --- *)
 

@@ -19,6 +19,20 @@
     Parsing is strict: unknown properties, malformed clauses or
     out-of-range pids/rounds are reported as [Error _], never guessed. *)
 
+(** The minimal S-expression dialect the counterexample files are written
+    in — atoms and lists, [;] line comments, strict trailing-input check.
+    Shared with [ftss_fuzz]'s corpus and violation files so every
+    persisted artefact of the tooling parses the same way. *)
+module Sexp : sig
+  type t = Atom of string | List of t list
+
+  val pp : Format.formatter -> t -> unit
+
+  (** [parse s] parses exactly one document; leftover non-whitespace
+      input is an error, never silently ignored. *)
+  val parse : string -> (t, string) result
+end
+
 type t = {
   property : string;
   inject : string;

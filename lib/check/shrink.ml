@@ -42,7 +42,14 @@ let candidates (case : S.t) =
   in
   removals @ downgrades @ weakened
 
-let rec shrink ~property case =
-  match List.find_opt (Property.fails property) (candidates case) with
-  | Some smaller -> shrink ~property smaller
-  | None -> case
+(* The descent engine, factored out so the fuzzer's genome reductions
+   reuse it: greedily step to the first still-failing candidate until a
+   local minimum. Termination is the caller's contract — every candidate
+   must be strictly smaller under some well-founded measure. *)
+let rec fixpoint ~fails ~candidates x =
+  match List.find_opt fails (candidates x) with
+  | Some smaller -> fixpoint ~fails ~candidates smaller
+  | None -> x
+
+let shrink ~property case =
+  fixpoint ~fails:(Property.fails property) ~candidates case

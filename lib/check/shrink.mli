@@ -17,3 +17,13 @@ val candidates : Schedule_enum.t -> Schedule_enum.t list
     returns a minimal (no candidate still fails) failing case of size
     [<= Schedule_enum.size case]. *)
 val shrink : property:Property.t -> Schedule_enum.t -> Schedule_enum.t
+
+(** The descent engine behind [shrink], generic so other counterexample
+    representations (the fuzzer's genomes) can reuse it: repeatedly step
+    to the first candidate for which [fails] holds, returning the first
+    local minimum (no candidate fails). {b Termination contract}: every
+    candidate must be strictly smaller than its parent under some
+    well-founded measure; [fixpoint] itself does not check this. The
+    result preserves [fails] whenever the input satisfied it. *)
+val fixpoint :
+  fails:('a -> bool) -> candidates:('a -> 'a list) -> 'a -> 'a

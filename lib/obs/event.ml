@@ -15,6 +15,7 @@ type body =
   | Window_close of { opened : int; measured : int }
   | Case_start of { case : int }
   | Case_verdict of { case : int; ok : bool; dedup : bool; states : int }
+  | Coverage of { execs : int; corpus : int; points : int }
 
 type t = { time : int; body : body }
 
@@ -34,12 +35,13 @@ let kind t =
   | Window_close _ -> "window_close"
   | Case_start _ -> "case_start"
   | Case_verdict _ -> "case_verdict"
+  | Coverage _ -> "coverage"
 
 let kinds =
   [
     "round_begin"; "round_end"; "send"; "deliver"; "drop"; "crash"; "corrupt";
     "suspect_add"; "suspect_remove"; "decide"; "window_open"; "window_close";
-    "case_start"; "case_verdict";
+    "case_start"; "case_verdict"; "coverage";
   ]
 
 let to_json t =
@@ -65,6 +67,11 @@ let to_json t =
       [
         ("case", Json.Int case); ("ok", Json.Bool ok); ("dedup", Json.Bool dedup);
         ("states", Json.Int states);
+      ]
+    | Coverage { execs; corpus; points } ->
+      [
+        ("execs", Json.Int execs); ("corpus", Json.Int corpus);
+        ("points", Json.Int points);
       ]
   in
   Json.Obj (("t", Json.Int t.time) :: ("ev", Json.String (kind t)) :: fields)
@@ -123,6 +130,11 @@ let of_json json =
       let* dedup = bool "dedup" in
       let* states = int "states" in
       Some (Case_verdict { case; ok; dedup; states })
+    | "coverage" ->
+      let* execs = int "execs" in
+      let* corpus = int "corpus" in
+      let* points = int "points" in
+      Some (Coverage { execs; corpus; points })
     | _ -> None
   in
   Some { time; body }
@@ -153,3 +165,5 @@ let pp ppf t =
   | Case_start { case } -> Format.fprintf ppf " case=%d" case
   | Case_verdict { case; ok; dedup; states } ->
     Format.fprintf ppf " case=%d ok=%b dedup=%b states=%d" case ok dedup states
+  | Coverage { execs; corpus; points } ->
+    Format.fprintf ppf " execs=%d corpus=%d points=%d" execs corpus points

@@ -34,6 +34,10 @@ type body =
   | Case_start of { case : int }  (** checker case [case] dequeued *)
   | Case_verdict of { case : int; ok : bool; dedup : bool; states : int }
       (** checker verdict; [dedup] marks a fingerprint-cache hit *)
+  | Coverage of { execs : int; corpus : int; points : int }
+      (** fuzzer coverage grew: after [execs] executions the corpus holds
+          [corpus] entries covering [points] distinct coverage points; the
+          event stream of a fuzzing run is its coverage-growth curve *)
 
 type t = {
   time : int;

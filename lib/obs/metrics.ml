@@ -116,6 +116,11 @@ let record_event t ev =
     if not ok then inc (counter t "checker_violations");
     if dedup then inc (counter t "checker_dedup_hits");
     add (counter t "checker_states") states
+  | Event.Coverage { execs; corpus; points } ->
+    inc (counter t "fuzz_coverage_growth");
+    set (gauge t "fuzz_execs") (float_of_int execs);
+    set (gauge t "fuzz_corpus") (float_of_int corpus);
+    set (gauge t "fuzz_coverage_points") (float_of_int points)
 
 (* --- export --- *)
 

@@ -50,6 +50,20 @@ let compute_hash ~state_rounds ~records ~n ~protocol_name ~crashed_at ~omissions
 
 let hash t = t.hash
 
+let round_signature ~project t =
+  Array.map
+    (fun r ->
+      let acc = ref (mix 0x51C0B5EE r.round) in
+      Array.iteri
+        (fun p st ->
+          acc :=
+            (match st with
+            | None -> mix !acc (-1) (* crashed: no observable state *)
+            | Some s -> fold_value !acc (project p s)))
+        r.states_after;
+      !acc)
+    t.records
+
 let length t = Array.length t.records
 
 let check_round t round =

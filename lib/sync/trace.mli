@@ -93,6 +93,19 @@ val sub : ('s, 'm) t -> first:int -> last:int -> ('s, 'm) t
     comparable with the original's hash. *)
 val hash : ('s, 'm) t -> int
 
+(** [round_signature ~project t] is the per-round behavioural signature of
+    the execution: entry [r-1] is a 62-bit mix, over all processes, of
+    [project p s] applied to each end-of-round state (crashed processes
+    contribute a sentinel). The projection picks out the {e observable}
+    part of the state — the round variable for Figure 1, the
+    suspicion/decision registers for compiled protocols — so two rounds
+    share a signature word exactly when they are behaviourally
+    indistinguishable under the projection. The fuzzer's coverage signal:
+    unlike {!val:hash}, which identifies whole executions, signature words
+    expose which {e per-round} configurations a corpus has already
+    visited. *)
+val round_signature : project:(Pid.t -> 's -> int) -> ('s, 'm) t -> int array
+
 (** [compute_hash ~state_rounds ...] folds the generators of a trace under
     construction into its content hash. [state_rounds] lists the 1-based
     rounds whose entering state vectors generate the execution: round 1,

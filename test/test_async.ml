@@ -216,14 +216,21 @@ let esfd_config ~seed ~n ~crashes =
     crashes;
   }
 
-let run_esfd ?corrupt ~seed ~n ~crashes ~trusted () =
+let run_esfd ?corrupt ?drop ~seed ~n ~crashes ~trusted () =
   let config = esfd_config ~seed ~n ~crashes in
   let crashed p = List.assoc_opt p crashes in
   let oracle =
     Ewfd.make (Rng.create (seed + 1)) ~n ~crashed ~gst:config.Sim.gst ~trusted ~noise:0.3
   in
-  let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle ()) in
+  let result = Sim.run ?corrupt ?drop config (Esfd.process ~n ~oracle ()) in
   Esfd.analyze result ~config ~trusted
+
+(* A fuzz-style omission adversary: a deterministic pseudo-random drop
+   matrix over (epoch, link) cells, active only before the GST — exactly
+   the partial-synchrony contract, under which the theorems must still
+   hold. *)
+let drop_matrix ~seed ~gst ~rate ~time ~src ~dst =
+  time < gst && Hashtbl.hash (seed, time / 50, src, dst) mod 100 < rate
 
 let test_theorem5_clean_start () =
   let report = run_esfd ~seed:11 ~n:5 ~crashes:[ (3, 150); (4, 700) ] ~trusted:1 () in
@@ -275,6 +282,35 @@ let test_theorem5_no_crashes () =
   let report = run_esfd ~seed:31 ~n:4 ~crashes:[] ~trusted:0 () in
   check "accuracy alone also converges" true (report.Esfd.convergence_time <> None)
 
+let test_sim_adversary_drops_are_counted_and_deterministic () =
+  let config = small_config ~seed:8 in
+  let drop = drop_matrix ~seed:8 ~gst:config.Sim.gst ~rate:40 in
+  let r1 = Sim.run ~drop config echo_process in
+  let r2 = Sim.run ~drop config echo_process in
+  check "adversary dropped something" true (r1.Sim.dropped_by_adversary > 0);
+  check_int "drop count deterministic" r1.Sim.dropped_by_adversary
+    r2.Sim.dropped_by_adversary;
+  check "survivor schedule deterministic" true (r1.Sim.log = r2.Sim.log);
+  let clean = Sim.run config echo_process in
+  check_int "no adversary, no adversary drops" 0 clean.Sim.dropped_by_adversary
+
+let prop_theorem5_under_random_drop_matrices =
+  QCheck.Test.make
+    ~name:"Theorem 5: eventual strong accuracy and completeness under drops"
+    ~count:8 QCheck.small_nat
+    (fun seed ->
+      let crashes = [ (4, 150) ] in
+      let drop = drop_matrix ~seed ~gst:300 ~rate:30 in
+      let report =
+        run_esfd ~drop ~seed:(500 + seed) ~n:5 ~crashes ~trusted:1 ()
+      in
+      (* Drops cease at the GST, so the transform must still converge:
+         every correct process eventually suspects the crashed one and
+         permanently trusts the correct ones. *)
+      report.Esfd.convergence_time <> None
+      && report.Esfd.completeness_from <> None
+      && report.Esfd.accuracy_from <> None)
+
 (* --- Repeated consensus --- *)
 
 let propose p i = 100 + (((p * 13) + (i * 7)) mod 50)
@@ -290,13 +326,15 @@ let consensus_config ~seed ~n ~crashes =
     crashes;
   }
 
-let run_consensus ?corrupt ?(noise = 0.2) ~style ~seed ~n ~crashes ~trusted () =
+let run_consensus ?corrupt ?drop ?(noise = 0.2) ~style ~seed ~n ~crashes ~trusted () =
   let config = consensus_config ~seed ~n ~crashes in
   let crashed p = List.assoc_opt p crashes in
   let oracle =
     Ewfd.make (Rng.create (seed + 7)) ~n ~crashed ~gst:config.Sim.gst ~trusted ~noise
   in
-  let result = Sim.run ?corrupt config (Consensus.process ~n ~style ~propose ~oracle ()) in
+  let result =
+    Sim.run ?corrupt ?drop config (Consensus.process ~n ~style ~propose ~oracle ())
+  in
   (config, result)
 
 let test_consensus_baseline_clean_decides () =
@@ -394,6 +432,24 @@ let test_consensus_deterministic () =
   in
   check "identical logs" true (r1.Sim.log = r2.Sim.log)
 
+let prop_consensus_agreement_under_random_drop_matrices =
+  QCheck.Test.make
+    ~name:"consensus agreement and validity under drop matrices" ~count:8
+    QCheck.small_nat
+    (fun seed ->
+      let drop = drop_matrix ~seed:(seed * 31) ~gst:300 ~rate:25 in
+      let config, result =
+        run_consensus ~drop ~style:Consensus.self_stabilizing ~seed:(600 + seed)
+          ~n:5 ~crashes:[] ~trusted:(seed mod 5) ()
+      in
+      let correct = Sim.correct_set config in
+      let grouped = Consensus.per_instance (Consensus.decisions result) ~correct in
+      (* Safety must hold whatever the adversary dropped, and the
+         post-GST drop-free suffix must restore progress. *)
+      Consensus.disagreements grouped = []
+      && Consensus.invalid_instances grouped ~propose ~n:5 = []
+      && List.length grouped >= 1)
+
 let prop_ss_consensus_random_corruption =
   QCheck.Test.make ~name:"ss consensus stabilizes under random corruption" ~count:10
     QCheck.small_nat
@@ -432,6 +488,8 @@ let suite =
         tc "corrupt initial state" `Quick test_sim_corrupt_initial_state;
         tc "spurious messages delivered" `Quick test_sim_spurious_messages_delivered;
         tc "validates config" `Quick test_sim_validates_config;
+        tc "adversary drops counted and deterministic" `Quick
+          test_sim_adversary_drops_are_counted_and_deterministic;
       ] );
     ( "ewfd",
       [
@@ -450,6 +508,7 @@ let suite =
         tc "Theorem 5: no crashes" `Quick test_theorem5_no_crashes;
         tc "Theorem 5: strong completeness is the transform's work" `Quick
           test_theorem5_strong_completeness_is_the_transforms_work;
+        QCheck_alcotest.to_alcotest prop_theorem5_under_random_drop_matrices;
       ] );
     ( "async-consensus",
       [
@@ -461,5 +520,6 @@ let suite =
         tc "ss dissolves the same deadlock" `Quick test_consensus_ss_dissolves_the_same_deadlock;
         tc "deterministic" `Quick test_consensus_deterministic;
         QCheck_alcotest.to_alcotest prop_ss_consensus_random_corruption;
+        QCheck_alcotest.to_alcotest prop_consensus_agreement_under_random_drop_matrices;
       ] );
   ]

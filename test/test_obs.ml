@@ -73,6 +73,7 @@ let all_events =
     { Event.time = 9; body = Event.Window_close { opened = 8; measured = 2 } };
     { Event.time = 0; body = Event.Case_start { case = 7 } };
     { Event.time = 0; body = Event.Case_verdict { case = 7; ok = true; dedup = false; states = 12 } };
+    { Event.time = 0; body = Event.Coverage { execs = 100; corpus = 9; points = 42 } };
   ]
 
 let test_event_round_trip () =
