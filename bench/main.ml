@@ -29,8 +29,20 @@ let () =
       (Ftss_obs.Metrics.gauge m "elapsed_seconds")
       (Unix.gettimeofday () -. t0);
     let path = Printf.sprintf "BENCH_%s.json" name in
+    (* Schema-2 envelope: the experiment's name and a schema tag wrap the
+       metrics snapshot, so [ftss bench-diff] can refuse cross-experiment
+       comparisons. Bare schema-1 files (no envelope) remain readable. *)
+    let doc =
+      match Ftss_obs.Metrics.to_json m with
+      | Ftss_obs.Json.Obj fields ->
+        Ftss_obs.Json.Obj
+          (("experiment", Ftss_obs.Json.String name)
+          :: ("schema", Ftss_obs.Json.Int 2)
+          :: fields)
+      | other -> other
+    in
     let oc = open_out path in
-    output_string oc (Ftss_obs.Json.to_string (Ftss_obs.Metrics.to_json m));
+    output_string oc (Ftss_obs.Json.to_string doc);
     output_char oc '\n';
     close_out oc
   in

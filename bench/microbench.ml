@@ -64,6 +64,13 @@ let async_consensus_run ~n =
            (Sim.run config
               (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose ~oracle ()))))
 
+(* [Explore.run ~domains:d] spawns d-1 worker domains inside every call,
+   so a multi-domain row measures spawn+join cost plus the workload — on a
+   ~3 ms workload the spawns dominate and the row must not be read as the
+   explorer's parallel speedup (E5 measures that, amortized over large
+   case sets). The row is named "spawn+run" accordingly, and the
+   [domain_spawn_join] baseline prices the spawns alone so the two can be
+   subtracted. *)
 let explorer_throughput ~domains =
   let open Ftss_check in
   let prop =
@@ -77,10 +84,19 @@ let explorer_throughput ~domains =
   let cases = Schedule_enum.enumerate params in
   Test.make
     ~name:
-      (Printf.sprintf "explorer theorem3 %d cases (%d domain%s)"
-         (Array.length cases) domains
-         (if domains = 1 then "" else "s"))
+      (if domains = 1 then
+         Printf.sprintf "explorer theorem3 %d cases (1 domain)" (Array.length cases)
+       else
+         Printf.sprintf "explorer theorem3 %d cases (spawn+run, %d domains)"
+           (Array.length cases) domains)
     (Staged.stage (fun () -> ignore (Explore.run ~domains prop cases)))
+
+let domain_spawn_join ~spawns =
+  Test.make
+    ~name:(Printf.sprintf "domain spawn+join x%d" spawns)
+    (Staged.stage (fun () ->
+         let ds = List.init spawns (fun _ -> Domain.spawn (fun () -> ())) in
+         List.iter Domain.join ds))
 
 let tests =
   Test.make_grouped ~name:"ftss" ~fmt:"%s %s"
@@ -95,6 +111,7 @@ let tests =
       async_consensus_run ~n:5;
       explorer_throughput ~domains:1;
       explorer_throughput ~domains:(max 2 (Ftss_check.Explore.available ()));
+      domain_spawn_join ~spawns:(max 2 (Ftss_check.Explore.available ()) - 1);
     ]
 
 let run m =

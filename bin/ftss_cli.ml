@@ -9,6 +9,8 @@
      check             exhaustively model-check a theorem over every
                        enumerated schedule × corruption class (ftss_check)
      replay            re-execute a shrunk counterexample file
+     explain           causal provenance of an outcome event in a trace
+     bench-diff        compare two BENCH_*.json gauge snapshots
 
    Every subcommand exits non-zero when its theorem check fails, so the
    CLI doubles as a CI gate. *)
@@ -58,12 +60,14 @@ let metrics_out_arg =
 
 (* Builds the hub (when either output was requested), runs [f] with it,
    then flushes the trace sink and writes the metrics snapshot. Without
-   either flag [f None] runs with zero instrumentation overhead. *)
-let with_obs trace_out metrics_out f =
+   either flag [f None] runs with zero instrumentation overhead.
+   [~stamp:n] attaches a causal stamper over n processes, so every traced
+   event carries the vector clock [ftss explain] consumes. *)
+let with_obs ?stamp trace_out metrics_out f =
   match (trace_out, metrics_out) with
   | None, None -> f None
   | _ ->
-    let obs = Ftss_obs.Obs.create () in
+    let obs = Ftss_obs.Obs.create ?stamp () in
     (match trace_out with
     | Some path -> Ftss_obs.Obs.add_sink obs (Ftss_obs.Sink.jsonl_file path)
     | None -> ());
@@ -80,6 +84,57 @@ let with_obs trace_out metrics_out f =
         | None -> ())
       (fun () -> f (Some obs))
 
+(* --- provenance helpers (ftss explain, counterexample explanations) --- *)
+
+module Prov = Ftss_prov.Prov
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE.dot"
+        ~doc:"Write the provenance cone of the outcome as Graphviz to $(docv).")
+
+let last_located_event t =
+  let rec go i =
+    if i < 0 then None
+    else match Prov.located t i with Some _ -> Some i | None -> go (i - 1)
+  in
+  go (Prov.length t - 1)
+
+(* The outcome to explain when none was named: the last decision if the
+   trace has one, else the last located event. *)
+let default_targets t =
+  match Prov.resolve t Prov.Last_decide with
+  | Ok ids -> Some ids
+  | Error _ -> Option.map (fun i -> [ i ]) (last_located_event t)
+
+let write_dot path t targets =
+  let ids = Prov.cone t targets in
+  let oc = open_out path in
+  output_string oc (Prov.to_dot ~targets t ids);
+  close_out oc
+
+(* Re-runs a counterexample under an in-memory stamped hub and prints the
+   causal explanation of its outcome; optionally exports the cone. *)
+let explain_counterexample ?dot ~n f =
+  let ring = Ftss_obs.Sink.ring ~capacity:1_000_000 in
+  let obs =
+    Ftss_obs.Obs.create ~sinks:[ Ftss_obs.Sink.ring_sink ring ] ~stamp:n ()
+  in
+  f obs;
+  let t = Prov.of_events (Ftss_obs.Sink.ring_contents ring) in
+  match default_targets t with
+  | None -> Format.printf "explanation: trace recorded no located events@."
+  | Some targets ->
+    Format.printf "why (causal provenance of the outcome):@.%a@." Prov.pp_explain
+      (t, targets);
+    (match dot with
+    | Some path ->
+      write_dot path t targets;
+      Format.printf "provenance cone written to %s (Graphviz)@." path
+    | None -> ())
+
 (* --- round-agreement --- *)
 
 let dump_arg =
@@ -87,7 +142,7 @@ let dump_arg =
 
 let round_agreement_cmd =
   let run n f seed rounds p_drop dump trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let rng = Rng.create seed in
     let faults = Faults.random_omission rng ~n ~f ~p_drop ~rounds in
     let trace =
@@ -131,7 +186,7 @@ let protocol_arg =
 
 let compile_cmd =
   let run n f seed rounds p_drop which trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let rng = Rng.create seed in
     let faults = Faults.random_omission rng ~n ~f ~p_drop ~rounds in
     let check (type s d) (pi : (s, d) Canonical.t) ~(corrupt_s : Rng.t -> Pid.t -> s -> s)
@@ -201,7 +256,7 @@ let crashes_arg =
 
 let esfd_cmd =
   let run n seed gst horizon crashes trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let open Ftss_async in
     let config =
       {
@@ -245,7 +300,7 @@ let esfd_cmd =
 
 let stack_cmd =
   let run n seed gst horizon crashes trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let open Ftss_async in
     let config =
       {
@@ -309,7 +364,7 @@ let detector_arg =
 
 let consensus_cmd =
   let run n seed gst horizon crashes style corruption detector_kind trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let open Ftss_async in
     let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
     let config =
@@ -463,8 +518,8 @@ let json_arg =
            skipped). Exit codes are unchanged.")
 
 let check_cmd =
-  let run n f rounds property inject domains out json trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+  let run n f rounds property inject domains out json dot trace_out metrics_out =
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let open Ftss_check in
     match Property.find ~name:property ~inject with
     | Error msg ->
@@ -537,6 +592,10 @@ let check_cmd =
               Replay.save path replayable;
               Format.printf "replay file written to %s (ftss_cli replay %s)@." path path
             | None -> Format.printf "%s" (Replay.to_string replayable));
+            (* Traced, stamped re-run of the shrunk counterexample: the
+               causal cone of its outcome ships with the report. *)
+            explain_counterexample ?dot ~n (fun o ->
+                ignore (prop.Property.run ~obs:o shrunk));
             1
         end)
   in
@@ -558,7 +617,7 @@ let check_cmd =
     in
     Term.(
       const run $ n_arg $ f_arg $ check_rounds_arg $ property_arg $ inject_arg
-      $ domains_arg $ out_arg $ json_arg $ trace_out_arg $ metrics_out_arg)
+      $ domains_arg $ out_arg $ json_arg $ dot_arg $ trace_out_arg $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "check"
@@ -612,7 +671,7 @@ let corpus_dir_arg =
 let fuzz_cmd =
   let run n f rounds property inject seed budget corpus_dir domains json trace_out
       metrics_out =
-    with_obs trace_out metrics_out @@ fun obs ->
+    with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let open Ftss_check in
     let module M = Ftss_fuzz.Mutate in
     let module F = Ftss_fuzz.Fuzz in
@@ -663,7 +722,9 @@ let fuzz_cmd =
                 M.pp v.F.v_genome;
               Format.printf "  shrunk (size %d -> %d): %a@." (M.size v.F.v_genome)
                 (M.size v.F.v_shrunk) M.pp v.F.v_shrunk;
-              Format.printf "  %s@." v.F.v_detail)
+              Format.printf "  %s@." v.F.v_detail;
+              explain_counterexample ~n (fun o ->
+                  ignore (prop.Property.run_adv ~obs:o (M.to_adversary v.F.v_shrunk))))
             stats.F.violations
         end;
         match (broken, stats.F.violations) with
@@ -709,17 +770,18 @@ let fuzz_cmd =
 (* --- replay --- *)
 
 let replay_cmd =
-  let run path trace_out metrics_out =
-    with_obs trace_out metrics_out @@ fun _obs ->
+  let run path dot trace_out metrics_out =
     let open Ftss_check in
     match Replay.load path with
     | Error msg ->
       Format.eprintf "replay: %s@." msg;
       2
     | Ok t -> (
+      let n = t.Replay.case.Schedule_enum.params.Schedule_enum.n in
+      with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
       Format.printf "property: %s (inject: %s)@." t.Replay.property t.Replay.inject;
       Format.printf "case: %a@." Schedule_enum.pp t.Replay.case;
-      match Replay.replay t with
+      match Replay.replay ?obs t with
       | Error msg ->
         Format.eprintf "replay: %s@." msg;
         2
@@ -731,6 +793,7 @@ let replay_cmd =
         end
         else begin
           Format.printf "counterexample reproduced@.";
+          explain_counterexample ?dot ~n (fun o -> ignore (Replay.replay ~obs:o t));
           0
         end)
   in
@@ -743,8 +806,9 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Deterministically re-execute a shrunk counterexample file and confirm it \
-             still falsifies its property.")
-    Term.(const run $ file_arg $ trace_out_arg $ metrics_out_arg)
+             still falsifies its property; a reproduced counterexample is explained \
+             through its causal provenance.")
+    Term.(const run $ file_arg $ dot_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- trace: summarize a JSONL event file --- *)
 
@@ -792,6 +856,116 @@ let trace_cmd =
           blame matrix.")
     Term.(const run $ file_arg $ events_arg $ kind_arg)
 
+(* --- explain: causal provenance of an outcome event --- *)
+
+let explain_cmd =
+  let run path selector dot =
+    match Prov.load path with
+    | Error msg ->
+      Format.eprintf "explain: %s@." msg;
+      2
+    | Ok t -> (
+      match Prov.parse_target selector with
+      | Error msg ->
+        Format.eprintf "explain: %s@." msg;
+        2
+      | Ok target -> (
+        match Prov.resolve t target with
+        | Error msg ->
+          Format.eprintf "explain: %s@." msg;
+          2
+        | Ok targets ->
+          Format.printf "%a@." Prov.pp_explain (t, targets);
+          (match Prov.stamps_consistent t with
+          | Ok () -> ()
+          | Error msg ->
+            Format.eprintf "explain: warning: inconsistent causal stamps (%s)@." msg);
+          (match dot with
+          | Some p ->
+            write_dot p t targets;
+            Format.printf "provenance cone written to %s (Graphviz)@." p
+          | None -> ());
+          0))
+  in
+  let trace_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE.jsonl"
+          ~doc:"Event trace written by $(b,--trace-out).")
+  in
+  let event_arg =
+    Arg.(
+      value
+      & opt string "last-decide"
+      & info [ "event" ] ~docv:"SEL"
+          ~doc:
+            "Outcome event to explain: an event id, $(b,last-decide), \
+             $(b,last-window), or $(b,suspect:P,Q) (the last suspicion change of P \
+             about Q).")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Explain an outcome event of a trace through its causal (happened-before) \
+          cone: which events of which processes it depends on, which omitted messages \
+          were pruned with their blame chains, and which coterie-growth \
+          (destabilizing) events the run contains.")
+    Term.(const run $ trace_arg $ event_arg $ dot_arg)
+
+(* --- bench-diff: compare two gauge snapshots --- *)
+
+let bench_diff_cmd =
+  let run old_path new_path max_regress =
+    let module B = Ftss_obs.Bench_diff in
+    match (B.load old_path, B.load new_path) with
+    | Error msg, _ | _, Error msg ->
+      Format.eprintf "bench-diff: %s@." msg;
+      2
+    | Ok o, Ok nw ->
+      let report = B.diff ~old_:o ~new_:nw in
+      Format.printf "%a@." (B.pp ~max_regress) report;
+      let regs = B.regressions report ~max_regress in
+      if regs = [] then begin
+        Format.printf "no regressions beyond %.0f%%@." max_regress;
+        0
+      end
+      else begin
+        Format.printf "%d regression%s beyond %.0f%%@." (List.length regs)
+          (if List.length regs = 1 then "" else "s")
+          max_regress;
+        1
+      end
+  in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline gauge snapshot (BENCH_*.json).")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW.json" ~doc:"Fresh gauge snapshot to compare.")
+  in
+  let max_regress_arg =
+    Arg.(
+      value
+      & opt float 25.0
+      & info [ "max-regress" ] ~docv:"PCT"
+          ~doc:
+            "Tolerated worsening per gauge, in percent (direction-aware: throughput \
+             gauges must not fall, latency gauges must not rise, by more than \
+             $(docv)).")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two benchmark gauge snapshots (schema-2 envelopes or bare metrics \
+          files) and exit non-zero when any gauge regressed beyond the tolerance.")
+    Term.(const run $ old_arg $ new_arg $ max_regress_arg)
+
 let () =
   let doc = "Unifying self-stabilization and fault-tolerance (PODC 1993) — simulator and experiments" in
   let info = Cmd.info "ftss" ~version:"1.0.0" ~doc in
@@ -801,4 +975,5 @@ let () =
           [
             round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
             impossibility_cmd; check_cmd; fuzz_cmd; replay_cmd; trace_cmd;
+            explain_cmd; bench_diff_cmd;
           ]))

@@ -85,10 +85,8 @@ let emit_decide obs ctx ~instance ~value =
   | None -> ()
   | Some o ->
     Ftss_obs.Obs.emit o
-      {
-        Ftss_obs.Event.time = Sim.now ctx;
-        body = Ftss_obs.Event.Decide { pid = Sim.self ctx; instance; value };
-      }
+      (Ftss_obs.Event.make ~time:(Sim.now ctx)
+         (Ftss_obs.Event.Decide { pid = Sim.self ctx; instance; value }))
 
 let emit_suspect_diff obs ctx ~before ~after =
   match obs with

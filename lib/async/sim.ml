@@ -89,7 +89,7 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
     if traced && not crash_emitted.(p) then begin
       crash_emitted.(p) <- true;
       emit
-        { Ftss_obs.Event.time = crash_time.(p); body = Ftss_obs.Event.Crash { pid = p } }
+        (Ftss_obs.Event.make ~time:crash_time.(p) (Ftss_obs.Event.Crash { pid = p }))
     end
   in
   let initial p =
@@ -98,7 +98,7 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
   in
   if traced && corrupt <> None then
     List.iter
-      (fun p -> emit { Ftss_obs.Event.time = 0; body = Ftss_obs.Event.Corrupt { pid = p } })
+      (fun p -> emit (Ftss_obs.Event.make ~time:0 (Ftss_obs.Event.Corrupt { pid = p })))
       (Pid.all config.n);
   let states = Array.init config.n (fun p -> Some (initial p)) in
   let log = ref [] in
@@ -124,21 +124,25 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
       (fun (dst, msg) ->
         if adversary_drops ~at:ctx.ctx_now ~src:ctx.ctx_self ~dst then begin
           incr dropped_by_adversary;
-          if traced then
+          (* The process did send; the adversary suppressed the message in
+             flight. Emitting the Send before the Drop keeps the trace
+             uniform — every Drop has a matching Send — which the causal
+             stamper relies on to pair drops with their suppressed sends. *)
+          if traced then begin
             emit
-              {
-                Ftss_obs.Event.time = ctx.ctx_now;
-                body = Ftss_obs.Event.Drop { src = ctx.ctx_self; dst; blame = None };
-              }
+              (Ftss_obs.Event.make ~time:ctx.ctx_now
+                 (Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst }));
+            emit
+              (Ftss_obs.Event.make ~time:ctx.ctx_now
+                 (Ftss_obs.Event.Drop { src = ctx.ctx_self; dst; blame = None }))
+          end
         end
         else begin
           let t = ctx.ctx_now + delay ~at:ctx.ctx_now in
           if traced then
             emit
-              {
-                Ftss_obs.Event.time = ctx.ctx_now;
-                body = Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst };
-              };
+              (Ftss_obs.Event.make ~time:ctx.ctx_now
+                 (Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst }));
           Event_queue.push queue ~time:t (Deliver { src = ctx.ctx_self; dst; msg })
         end)
       (List.rev ctx.outbox);
@@ -182,7 +186,7 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
         if alive dst ~at:t && states.(dst) <> None then begin
           incr delivered;
           if traced then
-            emit { Ftss_obs.Event.time = t; body = Ftss_obs.Event.Deliver { src; dst } };
+            emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Deliver { src; dst }));
           step dst t (fun ctx s -> process.on_message ctx s ~src msg)
         end
         else begin
@@ -190,10 +194,8 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
           note_dead dst;
           if traced then
             emit
-              {
-                Ftss_obs.Event.time = t;
-                body = Ftss_obs.Event.Drop { src; dst; blame = Some dst };
-              }
+              (Ftss_obs.Event.make ~time:t
+                 (Ftss_obs.Event.Drop { src; dst; blame = Some dst }))
         end
       | Tick p ->
         if alive p ~at:t && states.(p) <> None then begin

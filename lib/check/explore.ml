@@ -42,7 +42,7 @@ let run ?obs ?(domains = 1) (property : Property.t) cases =
     let my_cases = ref 0 and my_states = ref 0 and my_busy = ref 0. in
     let case i =
       if traced then begin
-        emit { Ftss_obs.Event.time = i; body = Ftss_obs.Event.Case_start { case = i } };
+        emit (Ftss_obs.Event.make ~time:i (Ftss_obs.Event.Case_start { case = i }));
         match obs with
         | Some o ->
           Ftss_obs.Obs.with_metrics o (fun m ->
@@ -65,17 +65,14 @@ let run ?obs ?(domains = 1) (property : Property.t) cases =
       my_states := !my_states + r.Property.states;
       if traced then
         emit
-          {
-            Ftss_obs.Event.time = i;
-            body =
-              Ftss_obs.Event.Case_verdict
+          (Ftss_obs.Event.make ~time:i
+             (Ftss_obs.Event.Case_verdict
                 {
                   case = i;
                   ok = verdict.Property.ok;
                   dedup = Option.is_some cached;
                   states = r.Property.states;
-                };
-          };
+                }));
       results.(i) <-
         Some
           {

@@ -34,8 +34,8 @@ type t = {
   name : string;
   inject : string;
   restrict : S.params -> S.params;
-  run_adv : adversary -> run;
-  run : S.t -> run;
+  run_adv : ?obs:Ftss_obs.Obs.t -> adversary -> run;
+  run : ?obs:Ftss_obs.Obs.t -> S.t -> run;
 }
 
 (* A content digest; equal digests imply equal recorded executions, hence
@@ -84,7 +84,7 @@ let make ~name ~inject ~restrict run_adv =
     inject;
     restrict;
     run_adv;
-    run = (fun case -> run_adv (adversary_of_case case));
+    run = (fun ?obs case -> run_adv ?obs (adversary_of_case case));
   }
 
 (* --- Theorem 3: Figure 1 round agreement --- *)
@@ -104,12 +104,17 @@ let theorem3 ?(inject = `None) () =
         },
         "frozen-exchange" )
   in
-  let run_adv adv =
+  let run_adv ?obs adv =
     let rounds = adv.adv_rounds in
     let trace =
-      Runner.run ~corrupt:adv.adv_corrupt_int ~faults:adv.adv_faults ~rounds
+      Runner.run ?obs ~corrupt:adv.adv_corrupt_int ~faults:adv.adv_faults ~rounds
         protocol
     in
+    (match obs with
+    | Some o ->
+      Ftss_obs.Obs.emit_windows o
+        (Solve.measured_per_window Round_agreement.spec trace)
+    | None -> ());
     {
       fingerprint = trace_fingerprint trace;
       states = adv.adv_n * rounds;
@@ -134,7 +139,7 @@ let theorem3 ?(inject = `None) () =
 (* --- Theorem 4: the Figure 3 compiler --- *)
 
 let theorem4 ?(suspect_filter = true) () =
-  let run_adv adv =
+  let run_adv ?obs adv =
     let n = adv.adv_n and rounds = adv.adv_rounds and f = adv.adv_f in
     let propose p = 50 + p in
     (* With the filter on, Π is the intended compiler input under general
@@ -150,8 +155,14 @@ let theorem4 ?(suspect_filter = true) () =
       let corrupt p (st : _ Compiler.state) =
         { st with Compiler.c = adv.adv_corrupt_int p st.Compiler.c }
       in
-      let trace = Runner.run ~corrupt ~faults ~rounds compiled in
+      let trace = Runner.run ?obs ~corrupt ~faults ~rounds compiled in
       let final_round = pi.Canonical.final_round in
+      (match obs with
+      | Some o ->
+        let valid d = d >= 50 && d < 50 + n in
+        let spec = Repeated.round_and_sigma ~final_round ~valid () in
+        Ftss_obs.Obs.emit_windows o (Solve.measured_per_window spec trace)
+      | None -> ());
       let verdict =
         lazy
           (let valid d = d >= 50 && d < 50 + n in
@@ -197,7 +208,7 @@ let theorem4 ?(suspect_filter = true) () =
 
 let theorem5 () =
   let gst = 300 in
-  let run_adv adv =
+  let run_adv ?obs adv =
     let open Ftss_async in
     let n = adv.adv_n in
     if not adv.adv_crash_only then
@@ -232,8 +243,12 @@ let theorem5 () =
         adv.adv_corrupt_bound
     in
     let corrupt = Option.map (fun c (_ : Pid.t) t -> c t) corrupt in
-    let result = Sim.run ?corrupt config (Esfd.process ~n ~oracle ()) in
+    let result = Sim.run ?obs ?corrupt config (Esfd.process ?obs ~n ~oracle ()) in
     let report = Esfd.analyze result ~config ~trusted in
+    (match (obs, report.Esfd.convergence_time) with
+    | Some o, Some t ->
+      Ftss_obs.Obs.emit_windows o [ ((0, result.Sim.end_time), t) ]
+    | _ -> ());
     {
       fingerprint =
         fingerprint (report, result.Sim.delivered, result.Sim.end_time, result.Sim.log);

@@ -72,9 +72,14 @@ type t = {
   restrict : Schedule_enum.params -> Schedule_enum.params;
       (** narrows the enumeration to the schedules the property can
           interpret (e.g. crash-only for the asynchronous theorem 5) *)
-  run_adv : adversary -> run;
-      (** the evaluator proper; the fuzzer's entry point *)
-  run : Schedule_enum.t -> run;  (** [run_adv ∘ adversary_of_case] *)
+  run_adv : ?obs:Ftss_obs.Obs.t -> adversary -> run;
+      (** the evaluator proper; the fuzzer's entry point. With [?obs]
+          the theorem's substrate run is traced (and stamped, when the
+          hub carries a stamper), and the stable windows of the
+          execution are emitted — the provenance path for explaining a
+          counterexample *)
+  run : ?obs:Ftss_obs.Obs.t -> Schedule_enum.t -> run;
+      (** [run_adv ∘ adversary_of_case] *)
 }
 
 (** [theorem3 ~inject:`Frozen_exchange ()] is the injected variant. *)

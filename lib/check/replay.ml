@@ -304,6 +304,6 @@ let load path =
         let s = really_input_string ic len in
         of_string s)
 
-let replay t =
+let replay ?obs t =
   let* property = Property.find ~name:t.property ~inject:t.inject in
-  Ok (Lazy.force (property.Property.run t.case).Property.verdict)
+  Ok (Lazy.force (property.Property.run ?obs t.case).Property.verdict)

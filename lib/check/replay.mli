@@ -50,5 +50,6 @@ val load : string -> (t, string) result
 
 (** [replay t] re-resolves the property and executes the case, returning
     its verdict. [Ok v] with [v.ok = false] means the counterexample
-    reproduced. *)
-val replay : t -> (Property.verdict, string) result
+    reproduced. With [?obs] the re-execution is traced through the hub
+    (stamped when it carries a stamper) — the provenance path. *)
+val replay : ?obs:Ftss_obs.Obs.t -> t -> (Property.verdict, string) result

@@ -139,16 +139,13 @@ let run ?obs (config : config) (prop : P.t) =
             curve := (!execs, Corpus.points corpus) :: !curve;
             if traced then
               emit
-                {
-                  Ftss_obs.Event.time = !execs;
-                  body =
-                    Ftss_obs.Event.Coverage
+                (Ftss_obs.Event.make ~time:!execs
+                   (Ftss_obs.Event.Coverage
                       {
                         execs = !execs;
                         corpus = Corpus.length corpus;
                         points = Corpus.points corpus;
-                      };
-                }
+                      }))
           end;
           if (not verdict.P.ok) && not (Hashtbl.mem seen_violation fp) then begin
             Hashtbl.add seen_violation fp ();

@@ -17,7 +17,9 @@ type body =
   | Case_verdict of { case : int; ok : bool; dedup : bool; states : int }
   | Coverage of { execs : int; corpus : int; points : int }
 
-type t = { time : int; body : body }
+type t = { time : int; body : body; stamp : Stamp.t option }
+
+let make ?stamp ~time body = { time; body; stamp }
 
 let kind t =
   match t.body with
@@ -73,6 +75,11 @@ let to_json t =
         ("execs", Json.Int execs); ("corpus", Json.Int corpus);
         ("points", Json.Int points);
       ]
+  in
+  let fields =
+    match t.stamp with
+    | None -> fields
+    | Some stamp -> fields @ Stamp.json_fields stamp
   in
   Json.Obj (("t", Json.Int t.time) :: ("ev", Json.String (kind t)) :: fields)
 
@@ -137,7 +144,7 @@ let of_json json =
       Some (Coverage { execs; corpus; points })
     | _ -> None
   in
-  Some { time; body }
+  Some { time; body; stamp = Stamp.of_json_fields json }
 
 let pp ppf t =
   Format.fprintf ppf "t=%-5d %s" t.time (kind t);

@@ -44,7 +44,15 @@ type t = {
       (** round number (sync), simulation time (async), or case index
           (checker) — each producer documents its clock *)
   body : body;
+  stamp : Stamp.t option;
+      (** the causal stamp, attached at emission by a hub with a
+          {!Stamper}; [None] on unstamped streams *)
 }
+
+(** [make ~time body] builds an (unstamped, unless [?stamp]) event —
+    producers should use this rather than the record literal so the
+    envelope can grow fields without touching every emission site. *)
+val make : ?stamp:Stamp.t -> time:int -> body -> t
 
 (** Stable lowercase tag of the constructor ("drop", "suspect_add", ...),
     used for filtering and summaries. *)

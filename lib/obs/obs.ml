@@ -4,13 +4,15 @@ type t = {
   mutable sinks : Sink.t list;
   registry : Metrics.t;
   mutex : Mutex.t;
+  stamper : Stamper.t option;
 }
 
-let create ?(sinks = []) ?metrics () =
+let create ?(sinks = []) ?metrics ?stamp () =
   {
     sinks;
     registry = (match metrics with Some m -> m | None -> Metrics.create ());
     mutex = Mutex.create ();
+    stamper = Option.map (fun n -> Stamper.create ~n) stamp;
   }
 
 let add_sink t sink =
@@ -23,6 +25,7 @@ let emit t ev =
   Fun.protect
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
+      let ev = match t.stamper with None -> ev | Some st -> Stamper.stamp st ev in
       Metrics.record_event t.registry ev;
       List.iter (fun (s : Sink.t) -> s.Sink.emit ev) t.sinks)
 
@@ -43,18 +46,18 @@ let suspect_diff t ~time ~observer ~before ~after =
     Pidset.iter
       (fun subject ->
         if not (Pidset.mem subject before) then
-          emit t { Event.time; body = Event.Suspect_add { observer; subject } })
+          emit t (Event.make ~time (Event.Suspect_add { observer; subject })))
       after;
     Pidset.iter
       (fun subject ->
         if not (Pidset.mem subject after) then
-          emit t { Event.time; body = Event.Suspect_remove { observer; subject } })
+          emit t (Event.make ~time (Event.Suspect_remove { observer; subject })))
       before
   end
 
 let emit_windows t windows =
   List.iter
     (fun ((x, y), measured) ->
-      emit t { Event.time = x; body = Event.Window_open };
-      emit t { Event.time = y; body = Event.Window_close { opened = x; measured } })
+      emit t (Event.make ~time:x Event.Window_open);
+      emit t (Event.make ~time:y (Event.Window_close { opened = x; measured })))
     windows

@@ -15,8 +15,12 @@ open Ftss_util
 type t
 
 (** [create ()] with no sinks still collects metrics — attach it to a run
-    and export {!metrics} afterwards. *)
-val create : ?sinks:Sink.t list -> ?metrics:Metrics.t -> unit -> t
+    and export {!metrics} afterwards. [~stamp:n] attaches a {!Stamper}
+    over a universe of [n] processes: every emitted event then carries a
+    causal stamp (eid + vector clock), the input the provenance engine
+    consumes. Stamping happens under the hub lock, so multi-domain
+    producers stay safe. *)
+val create : ?sinks:Sink.t list -> ?metrics:Metrics.t -> ?stamp:int -> unit -> t
 
 val add_sink : t -> Sink.t -> unit
 val emit : t -> Event.t -> unit

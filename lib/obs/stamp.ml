@@ -1,0 +1,38 @@
+type t = { eid : int; vc : int array }
+
+let equal a b = a.eid = b.eid && a.vc = b.vc
+
+let dominates ~by t =
+  let n = Array.length t.vc in
+  Array.length by.vc = n
+  &&
+  let rec check i = i >= n || (t.vc.(i) <= by.vc.(i) && check (i + 1)) in
+  check 0
+
+let component t p = if p >= 0 && p < Array.length t.vc then t.vc.(p) else 0
+
+let json_fields t =
+  [
+    ("eid", Json.Int t.eid);
+    ("vc", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) t.vc)));
+  ]
+
+let of_json_fields json =
+  match (Json.member "eid" json, Json.member "vc" json) with
+  | Some eid, Some vc -> (
+    match (Json.to_int_opt eid, Json.to_list_opt vc) with
+    | Some eid, Some items ->
+      let rec ints acc = function
+        | [] -> Some (Array.of_list (List.rev acc))
+        | item :: rest -> (
+          match Json.to_int_opt item with
+          | Some i -> ints (i :: acc) rest
+          | None -> None)
+      in
+      Option.map (fun vc -> { eid; vc }) (ints [] items)
+    | _ -> None)
+  | _ -> None
+
+let pp ppf t =
+  Format.fprintf ppf "#%d[%s]" t.eid
+    (String.concat "," (Array.to_list (Array.map string_of_int t.vc)))

@@ -1,0 +1,33 @@
+(** Causal stamps: a stable event id plus a per-process vector clock.
+
+    A stamp records where an event sits in the happened-before order of
+    its run: [eid] is the emission sequence number (unique per stamper,
+    hence per run), and [vc.(p)] counts the located events at process [p]
+    that causally precede this event (itself included when the event is
+    located at [p]). Stamps are attached by {!Stamper} under the
+    {!Obs} hub's lock; events carry them through {!Event.to_json} /
+    {!Event.of_json} so offline tooling ({!Ftss_prov.Prov}) can answer
+    happened-before queries without re-deriving message pairings. *)
+
+type t = { eid : int; vc : int array }
+
+val equal : t -> t -> bool
+
+(** [dominates ~by t] is the pointwise order [t.vc <= by.vc] — with
+    per-event ticking this is exactly "t happened before (or equals)
+    by". False when the clocks have different widths. *)
+val dominates : by:t -> t -> bool
+
+(** [component t p] is [t.vc.(p)], or 0 outside the clock's width. *)
+val component : t -> int -> int
+
+(** The stamp's JSON fields ([eid], [vc]) — spliced into the event
+    record by {!Event.to_json} rather than nested, so unstamped readers
+    can ignore them. *)
+val json_fields : t -> (string * Json.t) list
+
+(** Reads the fields written by {!json_fields} out of an event record;
+    [None] when absent or malformed. *)
+val of_json_fields : Json.t -> t option
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,128 @@
+type t = {
+  n : int;
+  mutable next_eid : int;
+  vcs : int array array; (* vcs.(p) = p's current clock *)
+  channels : (int * int, Stamp.t Queue.t) Hashtbl.t; (* in-flight sends per link *)
+}
+
+let create ~n =
+  if n < 0 then invalid_arg "Stamper.create: n < 0";
+  {
+    n;
+    next_eid = 0;
+    vcs = Array.init n (fun _ -> Array.make n 0);
+    channels = Hashtbl.create (max 16 (n * n));
+  }
+
+let universe t = t.n
+
+let in_range t p = p >= 0 && p < t.n
+
+let fresh t vc =
+  let s = { Stamp.eid = t.next_eid; vc = Array.copy vc } in
+  t.next_eid <- t.next_eid + 1;
+  s
+
+let tick t p = t.vcs.(p).(p) <- t.vcs.(p).(p) + 1
+
+let merge t p vc =
+  let own = t.vcs.(p) in
+  let k = min (Array.length own) (Array.length vc) in
+  for i = 0 to k - 1 do
+    if vc.(i) > own.(i) then own.(i) <- vc.(i)
+  done
+
+let push t ~src ~dst stamp =
+  let q =
+    match Hashtbl.find_opt t.channels (src, dst) with
+    | Some q -> q
+    | None ->
+      let q = Queue.create () in
+      Hashtbl.add t.channels (src, dst) q;
+      q
+  in
+  Queue.push stamp q
+
+let pop t ~src ~dst =
+  match Hashtbl.find_opt t.channels (src, dst) with
+  | Some q when not (Queue.is_empty q) -> Some (Queue.pop q)
+  | _ -> None
+
+(* The join over every process's clock — the stamp of a "global" event
+   (round boundaries, windows, checker/fuzzer lifecycle), which causally
+   summarizes the whole computation so far. *)
+let join t =
+  let vc = Array.make t.n 0 in
+  Array.iter
+    (fun own ->
+      for i = 0 to t.n - 1 do
+        if own.(i) > vc.(i) then vc.(i) <- own.(i)
+      done)
+    t.vcs;
+  vc
+
+let located t body =
+  let loc =
+    match (body : Event.body) with
+    | Event.Send { src; _ } -> Some src
+    | Event.Deliver { dst; _ } -> Some dst
+    | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ } -> Some pid
+    | Event.Suspect_add { observer; _ } | Event.Suspect_remove { observer; _ } ->
+      Some observer
+    | Event.Drop _ | Event.Round_begin | Event.Round_end | Event.Window_open
+    | Event.Window_close _ | Event.Case_start _ | Event.Case_verdict _
+    | Event.Coverage _ ->
+      None
+  in
+  match loc with Some p when in_range t p -> Some p | _ -> None
+
+let stamp t (ev : Event.t) =
+  if ev.Event.stamp <> None then ev
+  else
+    let stamp =
+      match ev.Event.body with
+      | Event.Send { src; dst } when in_range t src ->
+        tick t src;
+        let s = fresh t t.vcs.(src) in
+        (match dst with
+        | Some d when in_range t d -> push t ~src ~dst:d s
+        | Some _ -> ()
+        | None ->
+          (* Synchronous broadcast: one pending send per link. *)
+          for d = 0 to t.n - 1 do
+            push t ~src ~dst:d s
+          done);
+        Some s
+      | Event.Deliver { src; dst } when in_range t dst ->
+        (match pop t ~src ~dst with
+        | Some sent -> merge t dst sent.Stamp.vc
+        | None -> (* spurious / unpaired message: no causal ancestor *) ());
+        tick t dst;
+        Some (fresh t t.vcs.(dst))
+      | Event.Drop { src; dst; _ } ->
+        (* The omitted message's pending send is consumed but its clock
+           is NOT merged into dst — omission contributes no causality.
+           The stamp carries the suppressed send's clock so offline
+           tooling can chain the drop back to its origin. *)
+        let vc =
+          match pop t ~src ~dst with
+          | Some sent -> Array.copy sent.Stamp.vc
+          | None -> Array.make t.n 0
+        in
+        let s = { Stamp.eid = t.next_eid; vc } in
+        t.next_eid <- t.next_eid + 1;
+        Some s
+      | (Event.Crash _ | Event.Corrupt _ | Event.Decide _ | Event.Suspect_add _
+        | Event.Suspect_remove _) as body -> (
+        match located t body with
+        | Some p ->
+          tick t p;
+          Some (fresh t t.vcs.(p))
+        | None -> None)
+      | Event.Round_begin | Event.Round_end | Event.Window_open
+      | Event.Window_close _ | Event.Case_start _ | Event.Case_verdict _
+      | Event.Coverage _ ->
+        Some (fresh t (join t))
+      | Event.Send _ | Event.Deliver _ -> None (* endpoint outside the universe *)
+    in
+    match stamp with None -> ev | Some s -> { ev with Event.stamp = Some s }

@@ -1,0 +1,38 @@
+(** The per-run causal clock that turns an event stream into a stamped
+    event stream.
+
+    One stamper serves one run over a universe of [n] processes. Every
+    event is assigned a fresh [eid] (stream order) and a vector clock
+    derived from the event's body alone:
+
+    - [Send] ticks the sender and records the pending send per link (a
+      synchronous broadcast, [dst = None], records one per link);
+    - [Deliver] pops the link's oldest pending send, merges its clock
+      into the receiver's, then ticks the receiver;
+    - [Drop] pops the pending send {e without} merging — an omitted
+      message contributes no causality; its stamp carries the suppressed
+      send's clock so blame can be chained offline;
+    - [Crash]/[Corrupt]/[Decide]/[Suspect_*] tick the located process;
+    - round boundaries, windows, and checker/fuzzer lifecycle events get
+      the join of every clock (they summarize the whole run so far).
+
+    Per-link pending sends are FIFO. On channels the transport may
+    reorder (the asynchronous simulator's random delays), pairing by
+    FIFO can attribute a delivery to an earlier same-link send — an
+    under-approximation that is corrected by the sender's own program
+    order (the later send's clock dominates the earlier's), so knowledge
+    sets are exact even when individual message attribution is not; see
+    DESIGN.md "Provenance".
+
+    Events whose endpoints fall outside the universe, and events already
+    stamped, pass through unchanged. Not thread-safe on its own: the
+    {!Obs} hub invokes it under its mutex. *)
+
+type t
+
+val create : n:int -> t
+val universe : t -> int
+
+(** [stamp t ev] is [ev] with its causal stamp attached (mutating the
+    stamper's clocks); [ev] unchanged if it already carries a stamp. *)
+val stamp : t -> Event.t -> Event.t

@@ -71,6 +71,32 @@ let measured_stabilization t =
   | [] -> None
   | ws -> Some (List.fold_left (fun acc (_, _, d) -> max acc d) 0 ws)
 
+let coverage_curve t =
+  Array.to_list t.evs
+  |> List.filter_map (fun ev ->
+         match ev.Event.body with
+         | Event.Coverage { execs; corpus; points } -> Some (execs, corpus, points)
+         | _ -> None)
+
+let final_coverage t =
+  match List.rev (coverage_curve t) with [] -> None | last :: _ -> Some last
+
+(* Bucket the growth curve into at most [buckets] cells by execution
+   count, keeping the last sample of each cell — enough shape for a
+   terminal-width sparkline of coverage growth. *)
+let coverage_buckets ?(buckets = 10) t =
+  match coverage_curve t with
+  | [] -> []
+  | curve ->
+    let max_execs =
+      List.fold_left (fun acc (e, _, _) -> max acc e) 1 curve
+    in
+    let cell e = min (buckets - 1) (e * buckets / (max_execs + 1)) in
+    let tbl = Hashtbl.create buckets in
+    List.iter (fun (e, _, p) -> Hashtbl.replace tbl (cell e) (e, p)) curve;
+    List.init buckets (fun i -> Hashtbl.find_opt tbl i)
+    |> List.filter_map Fun.id
+
 let blame_matrix t =
   let tbl = Hashtbl.create 16 in
   Array.iter
@@ -116,6 +142,18 @@ let pp ppf t =
               time)
           changes)
       timeline);
+  (match final_coverage t with
+  | None -> ()
+  | Some (execs, corpus, points) ->
+    Format.fprintf ppf
+      "@,coverage: %d execs, corpus %d, %d points" execs corpus points;
+    (match coverage_buckets t with
+    | [] | [ _ ] -> ()
+    | cells ->
+      Format.fprintf ppf "@,coverage growth (execs: points):";
+      List.iter
+        (fun (e, p) -> Format.fprintf ppf "@,  %8d: %d" e p)
+        cells));
   (match blame_matrix t with
   | [] -> Format.fprintf ppf "@,omissions: none recorded"
   | matrix ->

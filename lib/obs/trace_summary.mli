@@ -35,6 +35,19 @@ val windows : t -> (int * int * int) list
     run's measured [d]. [None] when the trace has no window events. *)
 val measured_stabilization : t -> int option
 
+(** The fuzzer's coverage-growth curve: [(execs, corpus, points)] per
+    [Coverage] event, in emission order. *)
+val coverage_curve : t -> (int * int * int) list
+
+(** The last coverage sample — final execs/corpus/points of a fuzzing
+    run. [None] when the trace has no coverage events. *)
+val final_coverage : t -> (int * int * int) option
+
+(** The growth curve folded into at most [buckets] (default 10) cells by
+    execution count: [(execs, points)] of the last sample in each
+    non-empty cell, ascending. *)
+val coverage_buckets : ?buckets:int -> t -> (int * int) list
+
 (** Omission counts per directed link: [((src, dst), (count, blame))].
     [blame] is the blamed endpoint of the link's first drop event. Links
     sorted by [(src, dst)]. *)

@@ -13,7 +13,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
   in
   if traced && corrupt <> None then
     List.iter
-      (fun p -> emit { Ftss_obs.Event.time = 0; body = Ftss_obs.Event.Corrupt { pid = p } })
+      (fun p -> emit (Ftss_obs.Event.make ~time:0 (Ftss_obs.Event.Corrupt { pid = p })))
       (Pid.all n);
   let states = Array.init n (fun p -> Some (initial p)) in
   let crashed_at = Array.make n None in
@@ -29,7 +29,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
   let omissions = ref [] in
   let records = ref [] in
   for round = 1 to rounds do
-    if traced then emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Round_begin };
+    if traced then emit (Ftss_obs.Event.make ~time:round Ftss_obs.Event.Round_begin);
     (* Crashes scheduled for this round take effect before the broadcast. *)
     for p = 0 to n - 1 do
       match (states.(p), crash.(p)) with
@@ -37,7 +37,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
         states.(p) <- None;
         crashed_at.(p) <- Some cr;
         if traced then
-          emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Crash { pid = p } }
+          emit (Ftss_obs.Event.make ~time:round (Ftss_obs.Event.Crash { pid = p }))
       | _ -> ()
     done;
     (* Mid-execution systemic failure, if scheduled. *)
@@ -49,7 +49,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
             | Some s ->
               states.(p) <- Some (c p s);
               if traced then
-                emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Corrupt { pid = p } }
+                emit (Ftss_obs.Event.make ~time:round (Ftss_obs.Event.Corrupt { pid = p }))
             | None -> ()
           done)
       corrupt_at;
@@ -61,7 +61,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
       | Some s ->
         if traced then
           emit
-            { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Send { src = p; dst = None } };
+            (Ftss_obs.Event.make ~time:round (Ftss_obs.Event.Send { src = p; dst = None }));
         sent.(p) <- Some (protocol.broadcast p s)
     done;
     let delivered = Array.make n [] in
@@ -82,7 +82,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
             List.iter
               (fun { Protocol.src; _ } ->
                 emit
-                  { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Deliver { src; dst } })
+                  (Ftss_obs.Event.make ~time:round (Ftss_obs.Event.Deliver { src; dst })))
               full;
           delivered.(dst) <- full
         end
@@ -100,7 +100,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
             if src = dst || not (Faults.table_drops table ~round ~src ~dst) then begin
               if traced then
                 emit
-                  { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Deliver { src; dst } };
+                  (Ftss_obs.Event.make ~time:round (Ftss_obs.Event.Deliver { src; dst }));
               senders.(!count) <- src;
               incr count
             end
@@ -108,11 +108,8 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
               omissions := (round, src, dst) :: !omissions;
               if traced then
                 emit
-                  {
-                    Ftss_obs.Event.time = round;
-                    body =
-                      Ftss_obs.Event.Drop { src; dst; blame = Faults.blame faults ~src ~dst };
-                  }
+                  (Ftss_obs.Event.make ~time:round
+                     (Ftss_obs.Event.Drop { src; dst; blame = Faults.blame faults ~src ~dst }))
             end
         done;
         (* Second pass, descending, conses the delivery list directly in
@@ -132,7 +129,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ~faults ~rounds (protocol : ('s, 'm) Pr
       | None -> ()
       | Some s -> states.(p) <- Some (protocol.step p s delivered.(p))
     done;
-    if traced then emit { Ftss_obs.Event.time = round; body = Ftss_obs.Event.Round_end };
+    if traced then emit (Ftss_obs.Event.make ~time:round Ftss_obs.Event.Round_end);
     records :=
       { Trace.round; states_before; sent; delivered; states_after = Array.copy states }
       :: !records

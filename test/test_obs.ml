@@ -57,24 +57,34 @@ let test_json_accessors () =
 
 let all_events =
   [
-    { Event.time = 1; body = Event.Round_begin };
-    { Event.time = 1; body = Event.Round_end };
-    { Event.time = 2; body = Event.Send { src = 0; dst = None } };
-    { Event.time = 2; body = Event.Send { src = 0; dst = Some 1 } };
-    { Event.time = 3; body = Event.Deliver { src = 0; dst = 1 } };
-    { Event.time = 3; body = Event.Drop { src = 0; dst = 1; blame = Some 0 } };
-    { Event.time = 3; body = Event.Drop { src = 1; dst = 2; blame = None } };
-    { Event.time = 4; body = Event.Crash { pid = 2 } };
-    { Event.time = 0; body = Event.Corrupt { pid = 1 } };
-    { Event.time = 5; body = Event.Suspect_add { observer = 0; subject = 2 } };
-    { Event.time = 6; body = Event.Suspect_remove { observer = 0; subject = 2 } };
-    { Event.time = 7; body = Event.Decide { pid = 0; instance = 3; value = 55 } };
-    { Event.time = 8; body = Event.Window_open };
-    { Event.time = 9; body = Event.Window_close { opened = 8; measured = 2 } };
-    { Event.time = 0; body = Event.Case_start { case = 7 } };
-    { Event.time = 0; body = Event.Case_verdict { case = 7; ok = true; dedup = false; states = 12 } };
-    { Event.time = 0; body = Event.Coverage { execs = 100; corpus = 9; points = 42 } };
+    Event.make ~time:1 Event.Round_begin;
+    Event.make ~time:1 Event.Round_end;
+    Event.make ~time:2 (Event.Send { src = 0; dst = None });
+    Event.make ~time:2 (Event.Send { src = 0; dst = Some 1 });
+    Event.make ~time:3 (Event.Deliver { src = 0; dst = 1 });
+    Event.make ~time:3 (Event.Drop { src = 0; dst = 1; blame = Some 0 });
+    Event.make ~time:3 (Event.Drop { src = 1; dst = 2; blame = None });
+    Event.make ~time:4 (Event.Crash { pid = 2 });
+    Event.make ~time:0 (Event.Corrupt { pid = 1 });
+    Event.make ~time:5 (Event.Suspect_add { observer = 0; subject = 2 });
+    Event.make ~time:6 (Event.Suspect_remove { observer = 0; subject = 2 });
+    Event.make ~time:7 (Event.Decide { pid = 0; instance = 3; value = 55 });
+    Event.make ~time:8 Event.Window_open;
+    Event.make ~time:9 (Event.Window_close { opened = 8; measured = 2 });
+    Event.make ~time:0 (Event.Case_start { case = 7 });
+    Event.make ~time:0
+      (Event.Case_verdict { case = 7; ok = true; dedup = false; states = 12 });
+    Event.make ~time:0 (Event.Coverage { execs = 100; corpus = 9; points = 42 });
   ]
+
+(* The same bodies stamped: totality of the JSON codec must cover the
+   stamped envelope too. *)
+let all_events_stamped =
+  List.mapi
+    (fun i ev ->
+      let vc = [| i; i + 1; 2 * i |] in
+      Event.make ~stamp:{ Stamp.eid = i; vc } ~time:ev.Event.time ev.Event.body)
+    all_events
 
 let test_event_round_trip () =
   List.iter
@@ -82,7 +92,7 @@ let test_event_round_trip () =
       match Event.of_json (Event.to_json ev) with
       | Some ev' -> check (Event.kind ev ^ " round-trips") true (ev = ev')
       | None -> Alcotest.failf "%s did not decode" (Event.kind ev))
-    all_events;
+    (all_events @ all_events_stamped);
   (* Every declared kind is exercised above. *)
   let seen = List.sort_uniq compare (List.map Event.kind all_events) in
   check_int "all kinds covered" (List.length Event.kinds) (List.length seen)
@@ -99,7 +109,7 @@ let test_ring_eviction () =
   let ring = Sink.ring ~capacity:3 in
   let sink = Sink.ring_sink ring in
   List.iteri
-    (fun i body -> sink.Sink.emit { Event.time = i; body })
+    (fun i body -> sink.Sink.emit (Event.make ~time:i body))
     [ Event.Round_begin; Event.Round_end; Event.Window_open; Event.Round_begin;
       Event.Round_end ];
   check_int "seen counts everything" 5 (Sink.ring_seen ring);
@@ -122,6 +132,75 @@ let test_jsonl_and_load_round_trip () =
       | Ok t ->
         check_int "every event loaded" (List.length all_events) (Trace_summary.length t);
         check "events identical" true (Trace_summary.events t = all_events))
+
+(* The golden fixture pins the wire format: every event kind, plain and
+   stamped, exactly as [Sink.jsonl_file] writes it today. A diff here means
+   the JSONL encoding changed and every stored trace in the wild silently
+   re-reads differently — bump deliberately, never by accident. *)
+let test_golden_jsonl () =
+  let golden = "golden_events.jsonl" in
+  let ic = open_in golden in
+  let expected =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec lines acc =
+          match input_line ic with
+          | line -> lines (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        lines [])
+  in
+  let actual =
+    List.map (fun ev -> Json.to_string (Event.to_json ev))
+      (all_events @ all_events_stamped)
+  in
+  check_int "fixture line count" (List.length actual) (List.length expected);
+  List.iteri
+    (fun i (a, e) -> check_string (Printf.sprintf "line %d" (i + 1)) e a)
+    (List.combine actual expected);
+  (* And the fixture still decodes to the same events. *)
+  match Trace_summary.load golden with
+  | Error msg -> Alcotest.failf "golden fixture unreadable: %s" msg
+  | Ok t ->
+    check "fixture decodes to the source events" true
+      (Trace_summary.events t = all_events @ all_events_stamped)
+
+let test_coverage_summary () =
+  let cov ~time execs corpus points =
+    Event.make ~time (Event.Coverage { execs; corpus; points })
+  in
+  let t =
+    Trace_summary.of_events
+      [
+        Event.make ~time:0 Event.Round_begin;
+        cov ~time:1 10 2 5;
+        cov ~time:2 50 3 8;
+        cov ~time:3 100 3 8;
+        Event.make ~time:3 Event.Round_end;
+      ]
+  in
+  Alcotest.(check (list (triple int int int)))
+    "curve in emission order"
+    [ (10, 2, 5); (50, 3, 8); (100, 3, 8) ]
+    (Trace_summary.coverage_curve t);
+  check "final sample" true (Trace_summary.final_coverage t = Some (100, 3, 8));
+  (* Two samples fall into the same tail bucket: the later one wins. *)
+  Alcotest.(check (list (pair int int)))
+    "buckets keep the last sample per cell"
+    [ (10, 5); (50, 8); (100, 8) ]
+    (Trace_summary.coverage_buckets ~buckets:4 t);
+  check "no coverage -> none" true
+    (Trace_summary.final_coverage (Trace_summary.of_events [ Event.make ~time:0 Event.Round_begin ])
+    = None);
+  (* The census mentions coverage so [ftss trace] surfaces fuzzing runs. *)
+  let report = Format.asprintf "%a" Trace_summary.pp t in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "report shows final coverage" true (contains "coverage: 100 execs" report)
 
 let test_load_reports_bad_line () =
   let path = Filename.temp_file "ftss_obs" ".jsonl" in
@@ -252,12 +331,12 @@ let test_suspicion_timeline_and_blame () =
   let t =
     Trace_summary.of_events
       [
-        { Event.time = 1; body = Event.Suspect_add { observer = 0; subject = 2 } };
-        { Event.time = 4; body = Event.Suspect_remove { observer = 0; subject = 2 } };
-        { Event.time = 2; body = Event.Suspect_add { observer = 1; subject = 0 } };
-        { Event.time = 3; body = Event.Drop { src = 1; dst = 0; blame = Some 1 } };
-        { Event.time = 5; body = Event.Drop { src = 1; dst = 0; blame = Some 1 } };
-        { Event.time = 6; body = Event.Drop { src = 0; dst = 2; blame = Some 2 } };
+        Event.make ~time:1 (Event.Suspect_add { observer = 0; subject = 2 });
+        Event.make ~time:4 (Event.Suspect_remove { observer = 0; subject = 2 });
+        Event.make ~time:2 (Event.Suspect_add { observer = 1; subject = 0 });
+        Event.make ~time:3 (Event.Drop { src = 1; dst = 0; blame = Some 1 });
+        Event.make ~time:5 (Event.Drop { src = 1; dst = 0; blame = Some 1 });
+        Event.make ~time:6 (Event.Drop { src = 0; dst = 2; blame = Some 2 });
       ]
   in
   (match Trace_summary.suspicion_timeline t with
@@ -419,6 +498,81 @@ let test_explore_stats_unchanged_by_obs () =
   check_int "distinct identical" s1.Explore.distinct s2.Explore.distinct;
   check_int "dedup identical" s1.Explore.dedup_hits s2.Explore.dedup_hits
 
+(* --- Bench_diff --- *)
+
+let snapshot ?experiment ?(schema = 2) gauges =
+  { Bench_diff.experiment; schema; gauges }
+
+let test_bench_diff_directions () =
+  let open Bench_diff in
+  check "per_sec is higher-better" true
+    (direction "gauge.states_per_sec" = Higher_better);
+  check "ns_per_call is lower-better" true
+    (direction "ns_per_call.ftss round (n=4)" = Lower_better);
+  check "elapsed is lower-better" true (direction "elapsed_seconds" = Lower_better);
+  check "unknown units are informational" true
+    (direction "gauge.corpus_size" = Informational)
+
+let test_bench_diff_identity () =
+  let s = snapshot ~experiment:"M1" [ ("ns_per_call.x", 100.); ("y.per_sec", 5.) ] in
+  let r = Bench_diff.diff ~old_:s ~new_:s in
+  check "no regressions on identity" true
+    (Bench_diff.regressions r ~max_regress:0.0 = []);
+  check_int "both gauges compared" 2 (List.length r.Bench_diff.entries)
+
+let test_bench_diff_regression () =
+  let old_ =
+    snapshot [ ("ns_per_call.x", 100.); ("y.per_sec", 10.); ("corpus", 4.) ]
+  in
+  (* x doubled (lower-better: 100% worse), y halved (higher-better: 100%
+     worse), corpus doubled (informational: never flagged). *)
+  let new_ =
+    snapshot [ ("ns_per_call.x", 200.); ("y.per_sec", 5.); ("corpus", 8.) ]
+  in
+  let r = Bench_diff.diff ~old_ ~new_ in
+  let regs = Bench_diff.regressions r ~max_regress:25.0 in
+  Alcotest.(check (list string))
+    "both directed gauges flagged, informational spared"
+    [ "ns_per_call.x"; "y.per_sec" ]
+    (List.map (fun e -> e.Bench_diff.name) regs);
+  List.iter
+    (fun e ->
+      check (e.Bench_diff.name ^ " is 100% worse") true
+        (abs_float (e.Bench_diff.worse_pct -. 100.) < 1e-9))
+    regs;
+  (* A 20% slowdown survives a 25% gate but not a 10% one. *)
+  let mild = snapshot [ ("ns_per_call.x", 120.) ] in
+  let r = Bench_diff.diff ~old_:(snapshot [ ("ns_per_call.x", 100.) ]) ~new_:mild in
+  check "within tolerance" true (Bench_diff.regressions r ~max_regress:25.0 = []);
+  check "beyond a tighter gate" true
+    (Bench_diff.regressions r ~max_regress:10.0 <> [])
+
+let test_bench_diff_schema_envelope () =
+  (* Schema-2 envelope and bare schema-1 metrics both decode. *)
+  let parse s =
+    match Json.of_string s with
+    | Ok d -> Bench_diff.load_json d
+    | Error msg -> Alcotest.failf "parse: %s" msg
+  in
+  let v2 =
+    parse {|{"experiment":"M1","schema":2,"gauges":{"ns_per_call.x":100}}|}
+  in
+  check "experiment read" true (v2.Bench_diff.experiment = Some "M1");
+  check_int "schema 2" 2 v2.Bench_diff.schema;
+  check "gauges read" true (v2.Bench_diff.gauges = [ ("ns_per_call.x", 100.) ]);
+  let v1 = parse {|{"gauges":{"ns_per_call.x":100},"counters":{}}|} in
+  check "schema defaults to 1" true (v1.Bench_diff.schema = 1);
+  check "no experiment on schema 1" true (v1.Bench_diff.experiment = None);
+  (* Disjoint gauge sets surface as only_old / only_new, not as entries. *)
+  let r =
+    Bench_diff.diff
+      ~old_:(snapshot [ ("a", 1.); ("b", 2.) ])
+      ~new_:(snapshot [ ("b", 2.); ("c", 3.) ])
+  in
+  Alcotest.(check (list string)) "only old" [ "a" ] r.Bench_diff.only_old;
+  Alcotest.(check (list string)) "only new" [ "c" ] r.Bench_diff.only_new;
+  check_int "shared compared" 1 (List.length r.Bench_diff.entries)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -431,6 +585,8 @@ let suite =
         tc "event decode is total" `Quick test_event_rejects_unknown;
         tc "ring buffer bounds and evicts" `Quick test_ring_eviction;
         tc "jsonl write/load round-trips" `Quick test_jsonl_and_load_round_trip;
+        tc "golden jsonl fixture pins the wire format" `Quick test_golden_jsonl;
+        tc "coverage events fold into the summary" `Quick test_coverage_summary;
         tc "load names the malformed line" `Quick test_load_reports_bad_line;
         tc "console sink filters by kind" `Quick test_console_filter;
         tc "counters and gauges" `Quick test_metrics_counters_and_gauges;
@@ -444,5 +600,9 @@ let suite =
         tc "sim events match the result" `Quick test_sim_events_match_result;
         tc "explorer case events and per-domain stats" `Quick test_explore_case_events;
         tc "explorer verdicts unchanged by tracing" `Quick test_explore_stats_unchanged_by_obs;
+        tc "bench-diff direction heuristics" `Quick test_bench_diff_directions;
+        tc "bench-diff identity is clean" `Quick test_bench_diff_identity;
+        tc "bench-diff flags 2x regressions both ways" `Quick test_bench_diff_regression;
+        tc "bench-diff reads both schemas" `Quick test_bench_diff_schema_envelope;
       ] );
   ]

@@ -1,0 +1,297 @@
+(* Tests for the causal provenance engine: the differential check that
+   cone-derived knowledge sets coincide with Ftss_history.Causality on
+   synchronous traces (over a whole adversary corpus), drop-pruning and
+   blame chaining, destabilizing-event detection with connecting deliver
+   edges, stamped JSONL round-trips, selector parsing, DOT export, and an
+   asynchronous consensus smoke test. *)
+
+open Ftss_util
+open Ftss_sync
+open Ftss_obs
+open Ftss_check
+module Prov = Ftss_prov.Prov
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let counter_protocol : (int, int) Protocol.t =
+  {
+    Protocol.name = "counter";
+    init = (fun _ -> 0);
+    broadcast = (fun _ c -> c);
+    step = (fun _ c _ -> c + 1);
+  }
+
+(* Run [faults] for [rounds] rounds, traced and stamped, returning the
+   runner's trace (for Causality) and the provenance index built from the
+   very same event stream. *)
+let run_indexed ~n ~rounds faults =
+  let ring = Sink.ring ~capacity:100_000 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] ~stamp:n () in
+  let trace = Runner.run ~obs ~faults ~rounds counter_protocol in
+  (trace, Prov.of_events (Sink.ring_contents ring))
+
+(* --- the differential test: cones vs Causality over a corpus --- *)
+
+let test_differential_against_causality () =
+  let params =
+    { Schedule_enum.n = 3; rounds = 3; f = 1; intervals = true; drops = true }
+  in
+  let cases = Schedule_enum.enumerate params in
+  check "corpus is non-trivial" true (Array.length cases > 50);
+  Array.iter
+    (fun case ->
+      let adv = Property.adversary_of_case case in
+      let trace, t = run_indexed ~n:adv.Property.adv_n ~rounds:adv.Property.adv_rounds adv.Property.adv_faults in
+      let c = Ftss_history.Causality.analyze trace in
+      let rounds = Ftss_history.Causality.length c in
+      for r = 0 to rounds do
+        for p = 0 to adv.Property.adv_n - 1 do
+          if not (Pidset.equal (Prov.knows t ~round:r p) (Ftss_history.Causality.knows c ~round:r p))
+          then
+            Alcotest.failf "K_%d(%d) differs on case %s: prov %s, causality %s" r p
+              (Format.asprintf "%a" Schedule_enum.pp case)
+              (Format.asprintf "%a" Pidset.pp (Prov.knows t ~round:r p))
+              (Format.asprintf "%a" Pidset.pp (Ftss_history.Causality.knows c ~round:r p))
+        done;
+        let correct = Ftss_history.Causality.correct c in
+        if not (Pidset.equal (Prov.coterie t ~round:r ~correct) (Ftss_history.Causality.coterie c ~round:r))
+        then
+          Alcotest.failf "coterie at %d differs on case %s" r
+            (Format.asprintf "%a" Schedule_enum.pp case)
+      done;
+      (* Destabilizing events coincide with Causality.changes. *)
+      let correct = Ftss_history.Causality.correct c in
+      let changes = Ftss_history.Causality.changes c in
+      let growth = Prov.growth t ~correct in
+      if
+        List.length changes <> List.length growth
+        || not
+             (List.for_all2
+                (fun (r1, s1) (r2, s2) -> r1 = r2 && Pidset.equal s1 s2)
+                changes growth)
+      then
+        Alcotest.failf "growth differs on case %s" (Format.asprintf "%a" Schedule_enum.pp case);
+      (* Stamps are consistent along every edge. *)
+      match Prov.stamps_consistent t with
+      | Ok () -> ()
+      | Error msg ->
+        Alcotest.failf "stamps inconsistent on case %s: %s"
+          (Format.asprintf "%a" Schedule_enum.pp case) msg)
+    cases
+
+(* --- drop pruning --- *)
+
+let test_drop_pruning () =
+  (* p1 is muted for the whole run: its messages to others are all
+     dropped (self-delivery survives, paper footnote 1). *)
+  let n = 3 and rounds = 3 in
+  let faults =
+    Faults.of_events ~n
+      (List.concat_map
+         (fun r -> [ Faults.Drop { src = 1; dst = 0; round = r }; Faults.Drop { src = 1; dst = 2; round = r } ])
+         [ 1; 2; 3 ])
+  in
+  let _trace, t = run_indexed ~n ~rounds faults in
+  (* Nobody but p1 ever hears from p1. *)
+  check "p0 never knows p1" false (Pidset.mem 1 (Prov.knows t ~round:rounds 0));
+  check "p2 never knows p1" false (Pidset.mem 1 (Prov.knows t ~round:rounds 2));
+  check "p1 knows everyone" true
+    (Pidset.equal (Prov.knows t ~round:rounds 1) (Pidset.full n));
+  (* No drop node appears in any located event's cone, and none of p1's
+     events appear in p0's cone. *)
+  let drops =
+    List.filteri (fun i _ -> match (Prov.event t i).Event.body with
+        | Event.Drop _ -> true | _ -> false)
+      (List.init (Prov.length t) Fun.id)
+  in
+  check "the run has drops" true (drops <> []);
+  for p = 0 to n - 1 do
+    match Prov.last_at t p with
+    | None -> Alcotest.failf "p%d has no events" p
+    | Some last ->
+      let cone = Prov.cone t [ last ] in
+      List.iter
+        (fun d -> check "drop pruned from cone" false (List.mem d cone))
+        drops;
+      if p = 0 then
+        List.iter
+          (fun i ->
+            if Prov.located t i = Some 1 then
+              check "p1's events pruned from p0's cone" false (List.mem i cone))
+          cone
+  done;
+  (* Every drop consumed a send and chains blame to a faulty endpoint. *)
+  let pruned = Prov.pruned_drops t in
+  check_int "all drops paired" (List.length drops) (List.length pruned);
+  List.iter
+    (fun (d, sup) ->
+      check "drop consumed its suppressed send" true (sup <> None);
+      check "blamed on the muted endpoint" true (Prov.blame_of_drop t d = Some 1))
+    pruned
+
+(* --- destabilizing events and connecting delivers --- *)
+
+let test_growth_and_connecting_delivers () =
+  (* p0 is isolated from others in round 1 (both directions): K_1(0) =
+     {0} and p0 is in nobody else's K_1, so the round-1 coterie is empty
+     and the whole system enters at round 2 — one destabilizing event,
+     whose connecting deliver edges from p0 must land in the cones of
+     the correct observers' last events. *)
+  let n = 3 and rounds = 3 in
+  let faults =
+    Faults.of_events ~n
+      [
+        Faults.Drop { src = 0; dst = 1; round = 1 };
+        Faults.Drop { src = 0; dst = 2; round = 1 };
+        Faults.Drop { src = 1; dst = 0; round = 1 };
+        Faults.Drop { src = 2; dst = 0; round = 1 };
+      ]
+  in
+  let _trace, t = run_indexed ~n ~rounds faults in
+  let correct = Prov.inferred_correct t in
+  let growth = Prov.growth t ~correct in
+  check "one growth round" true (List.length growth = 1);
+  let r2, entered = List.hd growth in
+  check_int "the coterie forms at round 2" 2 r2;
+  check "everyone enters together" true (Pidset.equal entered (Pidset.full n));
+  let ds = Prov.connecting_delivers t ~round:2 ~entered:0 ~correct in
+  check "connecting delivers found" true (ds <> []);
+  List.iter
+    (fun i ->
+      (match (Prov.event t i).Event.body with
+      | Event.Deliver { src = 0; _ } -> ()
+      | _ -> Alcotest.fail "connecting edge is not a deliver from p0");
+      check_int "at the growth round" 2 (Prov.event t i).Event.time)
+    ds;
+  (* The acceptance check: the newly-connecting edge is in the cone of a
+     correct observer's last event. *)
+  let in_some_cone =
+    List.exists
+      (fun i ->
+        Pidset.exists
+          (fun q ->
+            match Prov.last_at t q with
+            | None -> false
+            | Some last -> List.mem i (Prov.cone t [ last ]))
+          correct)
+      ds
+  in
+  check "connecting deliver lies in an observer's cone" true in_some_cone
+
+(* --- stamped JSONL round-trip --- *)
+
+let test_jsonl_round_trip () =
+  let n = 3 and rounds = 3 in
+  let faults = Faults.of_events ~n [ Faults.Crash { pid = 2; round = 2 } ] in
+  let path = Filename.temp_file "ftss_prov" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let obs =
+        Obs.create ~sinks:[ Sink.jsonl_file path ] ~stamp:n ()
+      in
+      let _trace = Runner.run ~obs ~faults ~rounds counter_protocol in
+      Obs.close obs;
+      match Prov.load path with
+      | Error msg -> Alcotest.failf "load: %s" msg
+      | Ok t ->
+        check "n inferred" true (Prov.n t = n);
+        check "stamps survive the file" true (Prov.eid t 0 <> None);
+        check "stamps consistent after reload" true
+          (Prov.stamps_consistent t = Ok ());
+        check "crash recorded" true (Pidset.mem 2 (Prov.crashed t));
+        (* Resolving by stamp eid finds the exact event. *)
+        (match Prov.eid t 5 with
+        | None -> Alcotest.fail "event 5 unstamped"
+        | Some e -> (
+          match Prov.resolve t (Prov.Id e) with
+          | Ok [ i ] -> check_int "eid resolves to its event" 5 i
+          | Ok _ | Error _ -> Alcotest.fail "eid did not resolve")))
+
+(* --- selector parsing --- *)
+
+let test_selector_parsing () =
+  check "last-decide" true (Prov.parse_target "last-decide" = Ok Prov.Last_decide);
+  check "last-window" true
+    (Prov.parse_target "last-window" = Ok Prov.Last_window_close);
+  check "numeric id" true (Prov.parse_target "17" = Ok (Prov.Id 17));
+  check "suspect pair" true
+    (Prov.parse_target "suspect:1,2" = Ok (Prov.Suspect (1, 2)));
+  check "garbage rejected" true (Result.is_error (Prov.parse_target "warp"));
+  check "malformed suspect rejected" true
+    (Result.is_error (Prov.parse_target "suspect:1"))
+
+(* --- DOT export --- *)
+
+let test_dot_export () =
+  let n = 3 and rounds = 2 in
+  let _trace, t = run_indexed ~n ~rounds (Faults.of_events ~n []) in
+  match Prov.last_at t 0 with
+  | None -> Alcotest.fail "no events"
+  | Some last ->
+    let cone = Prov.cone t [ last ] in
+    let dot = Prov.to_dot ~targets:[ last ] t cone in
+    let contains needle hay =
+      let nl = String.length needle and hl = String.length hay in
+      let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+      go 0
+    in
+    check "digraph" true (contains "digraph" dot);
+    check "process lanes as clusters" true (contains "cluster" dot);
+    check "target highlighted" true (contains "gold" dot);
+    check "has edges" true (contains "->" dot)
+
+(* --- asynchronous smoke: consensus decides, the decide explains --- *)
+
+let test_async_consensus_smoke () =
+  let open Ftss_async in
+  let n = 3 in
+  let config =
+    {
+      (Sim.default_config ~n ~seed:7) with
+      Sim.gst = 50;
+      horizon = 1500;
+      tick_interval = 10;
+    }
+  in
+  let ring = Sink.ring ~capacity:1_000_000 in
+  let obs = Obs.create ~sinks:[ Sink.ring_sink ring ] ~stamp:n () in
+  let oracle =
+    Ewfd.make (Rng.create 3) ~n
+      ~crashed:(fun _ -> None)
+      ~gst:config.Sim.gst ~trusted:0 ~noise:0.1
+  in
+  let _result =
+    Sim.run ~obs config
+      (Consensus.process ~obs ~n ~style:Consensus.self_stabilizing
+         ~propose:(fun p i -> (100 * i) + p)
+         ~oracle ())
+  in
+  let t = Prov.of_events (Sink.ring_contents ring) in
+  check "stamps consistent on the async trace" true
+    (Prov.stamps_consistent t = Ok ());
+  match Prov.resolve t Prov.Last_decide with
+  | Error msg -> Alcotest.failf "no decide to explain: %s" msg
+  | Ok targets ->
+    let cone = Prov.cone t targets in
+    check "decide has a non-trivial causal past" true (List.length cone > 10);
+    (* A decision in round-based consensus rests on messages from a
+       quorum: the cone must span more than the decider's own lane. *)
+    check "cone spans several processes" true
+      (Pidset.cardinal (Prov.cone_pids t cone) >= 2)
+
+let suite =
+  let tc = Alcotest.test_case in
+  [
+    ( "prov",
+      [
+        tc "cones match Causality over the corpus" `Slow test_differential_against_causality;
+        tc "omitted messages are pruned, blame chains" `Quick test_drop_pruning;
+        tc "growth rounds and connecting delivers" `Quick test_growth_and_connecting_delivers;
+        tc "stamped jsonl round-trips through load" `Quick test_jsonl_round_trip;
+        tc "selector parsing" `Quick test_selector_parsing;
+        tc "dot export renders the cone" `Quick test_dot_export;
+        tc "async consensus decide explains" `Quick test_async_consensus_smoke;
+      ] );
+  ]
