@@ -64,6 +64,30 @@ let async_consensus_run ~n =
            (Sim.run config
               (Consensus.process ~n ~style:Consensus.self_stabilizing ~propose ~oracle ()))))
 
+(* Repeated consensus: the same k instances driven through one shared
+   simulator heap vs. a heap rebuilt per instance. The difference between
+   the two rows is the per-instance price of rebuilding (config, channels,
+   event queue, detector oracle) that the service tower avoids. *)
+let repeated_propose p i = 100 + (((p * 13) + (i * 7)) mod 50)
+
+let repeated_shared_heap ~n ~instances =
+  Test.make
+    ~name:(Printf.sprintf "repeated shared-heap x%d (n=%d)" instances n)
+    (Staged.stage (fun () ->
+         ignore
+           (Repeated.run_async_shared ~n ~seed:3
+              ~style:Ftss_async.Consensus.self_stabilizing
+              ~propose:repeated_propose ~instances ~horizon_per_instance:150 ())))
+
+let repeated_rebuilt_heap ~n ~instances =
+  Test.make
+    ~name:(Printf.sprintf "repeated rebuilt-heap x%d (n=%d)" instances n)
+    (Staged.stage (fun () ->
+         ignore
+           (Repeated.run_async_rebuilt ~n ~seed:3
+              ~style:Ftss_async.Consensus.self_stabilizing
+              ~propose:repeated_propose ~instances ~horizon_per_instance:150 ())))
+
 (* [Explore.run ~domains:d] spawns d-1 worker domains inside every call,
    so a multi-domain row measures spawn+join cost plus the workload — on a
    ~3 ms workload the spawns dominate and the row must not be read as the
@@ -109,6 +133,8 @@ let tests =
       esfd_tick ~n:5;
       esfd_tick ~n:9;
       async_consensus_run ~n:5;
+      repeated_shared_heap ~n:4 ~instances:8;
+      repeated_rebuilt_heap ~n:4 ~instances:8;
       explorer_throughput ~domains:1;
       explorer_throughput ~domains:(max 2 (Ftss_check.Explore.available ()));
       domain_spawn_join ~spawns:(max 2 (Ftss_check.Explore.available ()) - 1);

@@ -10,6 +10,7 @@
                        enumerated schedule × corruption class (ftss_check)
      replay            re-execute a shrunk counterexample file
      explain           causal provenance of an outcome event in a trace
+     serve             run the replicated service tower under a workload
      bench-diff        compare two BENCH_*.json gauge snapshots
 
    Every subcommand exits non-zero when its theorem check fails, so the
@@ -913,6 +914,92 @@ let explain_cmd =
           (destabilizing) events the run contains.")
     Term.(const run $ trace_arg $ event_arg $ dot_arg)
 
+(* --- serve: the replicated service tower end to end --- *)
+
+let serve_cmd =
+  let open Ftss_service in
+  let run n seed ops sessions keys window baseline storm_at storm_victims
+      trace_out metrics_out =
+    with_obs ~stamp:n trace_out metrics_out (fun obs ->
+        let spec =
+          {
+            Workload.default_spec with
+            Workload.ops;
+            sessions;
+            keys;
+            window;
+            seed;
+          }
+        in
+        let wl = Workload.create ~n spec in
+        let params =
+          {
+            (Service.default_params ~n ~seed:(seed + 1)) with
+            Service.style = (if baseline then Tob.baseline else Tob.self_stabilizing);
+            faults =
+              (match storm_at with
+              | Some t -> { Service.no_faults with Service.storms = [ (t, storm_victims) ] }
+              | None -> Service.no_faults);
+          }
+        in
+        let r = Service.run ?obs ~wl params in
+        Format.printf "%a@." Service.pp_report r;
+        if r.Service.unique_ops > 0 && r.Service.converged then 0 else 1)
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 20_000
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Client operations to generate.")
+  in
+  let sessions_arg =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "sessions" ] ~docv:"S" ~doc:"Simulated client sessions.")
+  in
+  let keys_arg =
+    Arg.(
+      value & opt int 65_536
+      & info [ "keys" ] ~docv:"K" ~doc:"Key-space size (Zipfian-distributed).")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "window" ] ~docv:"T"
+          ~doc:"Arrival window in simulated time units; the run drains afterwards.")
+  in
+  let baseline_arg =
+    Arg.(
+      value & flag
+      & info [ "baseline" ]
+          ~doc:"Run the non-stabilizing baseline tower instead of the default \
+                self-stabilizing one.")
+  in
+  let storm_at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "storm-at" ] ~docv:"T"
+          ~doc:"Inject a corruption storm at time $(docv).")
+  in
+  let storm_victims_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "storm-victims" ] ~docv:"V"
+          ~doc:"Replicas scrambled by the storm (with $(b,--storm-at)).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the replicated service tower (total-order broadcast over repeated \
+          multivalued consensus, applying a key-value log) under a generated \
+          client workload, and report commit latency, throughput and \
+          convergence. Exits non-zero unless operations were committed and \
+          every live replica converged.")
+    Term.(
+      const run $ n_arg $ seed_arg $ ops_arg $ sessions_arg $ keys_arg
+      $ window_arg $ baseline_arg $ storm_at_arg $ storm_victims_arg
+      $ trace_out_arg $ metrics_out_arg)
+
 (* --- bench-diff: compare two gauge snapshots --- *)
 
 let bench_diff_cmd =
@@ -925,6 +1012,14 @@ let bench_diff_cmd =
     | Ok o, Ok nw ->
       let report = B.diff ~old_:o ~new_:nw in
       Format.printf "%a@." (B.pp ~max_regress) report;
+      (match report.B.only_old with
+      | [] -> ()
+      | missing ->
+        Format.printf
+          "warning: %d baseline gauge%s missing from the candidate snapshot: %s@."
+          (List.length missing)
+          (if List.length missing = 1 then "" else "s")
+          (String.concat ", " missing));
       let regs = B.regressions report ~max_regress in
       if regs = [] then begin
         Format.printf "no regressions beyond %.0f%%@." max_regress;
@@ -975,5 +1070,5 @@ let () =
           [
             round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
             impossibility_cmd; check_cmd; fuzz_cmd; replay_cmd; trace_cmd;
-            explain_cmd; bench_diff_cmd;
+            explain_cmd; serve_cmd; bench_diff_cmd;
           ]))

@@ -58,9 +58,10 @@ type ('s, 'o) result = {
   end_time : time;
 }
 
-type 'm event =
+type ('m, 's) event =
   | Deliver of { src : Pid.t; dst : Pid.t; msg : 'm }
   | Tick of Pid.t
+  | Scramble of Pid.t * ('s -> 's)
 
 let crashed_set config =
   List.fold_left
@@ -69,7 +70,7 @@ let crashed_set config =
 
 let correct_set config = Pidset.diff (Pidset.full config.n) (crashed_set config)
 
-let run ?obs ?corrupt ?drop ?(spurious = []) config process =
+let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) config process =
   if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
   if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
   let rng = Rng.create config.seed in
@@ -174,6 +175,13 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
   List.iter
     (fun (t, src, dst, msg) -> Event_queue.push queue ~time:t (Deliver { src; dst; msg }))
     spurious;
+  List.iter
+    (fun (t, p, f) ->
+      if t < 1 then invalid_arg "Sim.run: corrupt_at time < 1";
+      if not (Pid.is_valid ~n:config.n p) then
+        invalid_arg "Sim.run: corrupt_at pid out of range";
+      Event_queue.push queue ~time:t (Scramble (p, f)))
+    corrupt_at;
   let end_time = ref 0 in
   let rec loop () =
     match Event_queue.pop queue with
@@ -201,7 +209,17 @@ let run ?obs ?corrupt ?drop ?(spurious = []) config process =
         if alive p ~at:t && states.(p) <> None then begin
           step p t process.on_tick;
           Event_queue.push queue ~time:(t + config.tick_interval) (Tick p)
-        end);
+        end
+      | Scramble (p, f) -> (
+        (* A mid-run transient fault: the adversary rewrites p's state in
+           place. The victim takes no step — it only discovers the damage
+           (if its protocol can) at its next tick or delivery. *)
+        match states.(p) with
+        | Some s when alive p ~at:t ->
+          states.(p) <- Some (f s);
+          if traced then
+            emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Corrupt { pid = p }))
+        | _ -> ()));
       loop ()
   in
   loop ();

@@ -89,11 +89,21 @@ type ('s, 'o) result = {
     (blaming the receiver) for messages addressed to a crashed process and
     [Drop] with no blame for adversary suppressions, and [Crash] once per
     crashed process, timestamped with its crash time. With [obs] absent
-    the instrumentation allocates nothing. Raises [Invalid_argument] on
-    non-positive [tick_interval] or [horizon]. *)
+    the instrumentation allocates nothing.
+
+    [corrupt_at] extends the corruption model beyond time 0: each
+    [(time, pid, f)] entry rewrites [pid]'s state to [f state] at that
+    simulated time — a mid-run transient fault (a "corruption storm" is a
+    batch of such entries). The victim takes no step at the fault itself;
+    it runs on the scrambled state from its next delivery or tick. A
+    [Corrupt] event is emitted at the fault time when traced. Entries for
+    already-crashed processes are ignored. Raises [Invalid_argument] on
+    non-positive [tick_interval] or [horizon], a [corrupt_at] time < 1,
+    or a [corrupt_at] pid outside the system. *)
 val run :
   ?obs:Ftss_obs.Obs.t ->
   ?corrupt:(Pid.t -> 's -> 's) ->
+  ?corrupt_at:(time * Pid.t * ('s -> 's)) list ->
   ?drop:(time:time -> src:Pid.t -> dst:Pid.t -> bool) ->
   ?spurious:(time * Pid.t * Pid.t * 'm) list ->
   config ->

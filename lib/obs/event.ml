@@ -16,6 +16,10 @@ type body =
   | Case_start of { case : int }
   | Case_verdict of { case : int; ok : bool; dedup : bool; states : int }
   | Coverage of { execs : int; corpus : int; points : int }
+  | Submit of { pid : Pid.t; ops : int }
+  | Commit of { pid : Pid.t; slot : int; ops : int }
+  | Apply of { pid : Pid.t; slot : int; digest : int }
+  | Recover of { pid : Pid.t; slots : int }
 
 type t = { time : int; body : body; stamp : Stamp.t option }
 
@@ -38,12 +42,17 @@ let kind t =
   | Case_start _ -> "case_start"
   | Case_verdict _ -> "case_verdict"
   | Coverage _ -> "coverage"
+  | Submit _ -> "submit"
+  | Commit _ -> "commit"
+  | Apply _ -> "apply"
+  | Recover _ -> "recover"
 
 let kinds =
   [
     "round_begin"; "round_end"; "send"; "deliver"; "drop"; "crash"; "corrupt";
     "suspect_add"; "suspect_remove"; "decide"; "window_open"; "window_close";
-    "case_start"; "case_verdict"; "coverage";
+    "case_start"; "case_verdict"; "coverage"; "submit"; "commit"; "apply";
+    "recover";
   ]
 
 let to_json t =
@@ -75,6 +84,13 @@ let to_json t =
         ("execs", Json.Int execs); ("corpus", Json.Int corpus);
         ("points", Json.Int points);
       ]
+    | Submit { pid; ops } -> [ ("pid", Json.Int pid); ("ops", Json.Int ops) ]
+    | Commit { pid; slot; ops } ->
+      [ ("pid", Json.Int pid); ("slot", Json.Int slot); ("ops", Json.Int ops) ]
+    | Apply { pid; slot; digest } ->
+      [ ("pid", Json.Int pid); ("slot", Json.Int slot); ("digest", Json.Int digest) ]
+    | Recover { pid; slots } ->
+      [ ("pid", Json.Int pid); ("slots", Json.Int slots) ]
   in
   let fields =
     match t.stamp with
@@ -142,6 +158,24 @@ let of_json json =
       let* corpus = int "corpus" in
       let* points = int "points" in
       Some (Coverage { execs; corpus; points })
+    | "submit" ->
+      let* pid = int "pid" in
+      let* ops = int "ops" in
+      Some (Submit { pid; ops })
+    | "commit" ->
+      let* pid = int "pid" in
+      let* slot = int "slot" in
+      let* ops = int "ops" in
+      Some (Commit { pid; slot; ops })
+    | "apply" ->
+      let* pid = int "pid" in
+      let* slot = int "slot" in
+      let* digest = int "digest" in
+      Some (Apply { pid; slot; digest })
+    | "recover" ->
+      let* pid = int "pid" in
+      let* slots = int "slots" in
+      Some (Recover { pid; slots })
     | _ -> None
   in
   Some { time; body; stamp = Stamp.of_json_fields json }
@@ -174,3 +208,9 @@ let pp ppf t =
     Format.fprintf ppf " case=%d ok=%b dedup=%b states=%d" case ok dedup states
   | Coverage { execs; corpus; points } ->
     Format.fprintf ppf " execs=%d corpus=%d points=%d" execs corpus points
+  | Submit { pid; ops } -> Format.fprintf ppf " p%a ops=%d" Pid.pp pid ops
+  | Commit { pid; slot; ops } ->
+    Format.fprintf ppf " p%a slot=%d ops=%d" Pid.pp pid slot ops
+  | Apply { pid; slot; digest } ->
+    Format.fprintf ppf " p%a slot=%d digest=%d" Pid.pp pid slot digest
+  | Recover { pid; slots } -> Format.fprintf ppf " p%a slots=%d" Pid.pp pid slots

@@ -38,6 +38,19 @@ type body =
       (** fuzzer coverage grew: after [execs] executions the corpus holds
           [corpus] entries covering [points] distinct coverage points; the
           event stream of a fuzzing run is its coverage-growth curve *)
+  | Submit of { pid : Pid.t; ops : int }
+      (** [ops] client operations arrived at replica [pid]'s pending queue *)
+  | Commit of { pid : Pid.t; slot : int; ops : int }
+      (** replica [pid] learned the total-order decision for log slot
+          [slot], a batch of [ops] operations *)
+  | Apply of { pid : Pid.t; slot : int; digest : int }
+      (** replica [pid] applied slot [slot] to its state machine; [digest]
+          is the replica-state digest after the application — equal digests
+          at equal slots witness convergence *)
+  | Recover of { pid : Pid.t; slots : int }
+      (** replica [pid] detected local inconsistency (corruption, or a log
+          diverging from the quorum) and rebuilt; [slots] is the number of
+          log entries re-fetched or re-validated *)
 
 type t = {
   time : int;

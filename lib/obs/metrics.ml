@@ -121,6 +121,14 @@ let record_event t ev =
     set (gauge t "fuzz_execs") (float_of_int execs);
     set (gauge t "fuzz_corpus") (float_of_int corpus);
     set (gauge t "fuzz_coverage_points") (float_of_int points)
+  | Event.Submit { ops; _ } -> add (counter t "ops_submitted") ops
+  | Event.Commit { ops; _ } ->
+    inc (counter t "slots_committed");
+    add (counter t "ops_committed") ops
+  | Event.Apply _ -> inc (counter t "slots_applied")
+  | Event.Recover { slots; _ } ->
+    inc (counter t "recoveries");
+    observe (histogram t "recovery_slots") (float_of_int slots)
 
 (* --- export --- *)
 

@@ -66,7 +66,10 @@ let located t body =
     match (body : Event.body) with
     | Event.Send { src; _ } -> Some src
     | Event.Deliver { dst; _ } -> Some dst
-    | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ } -> Some pid
+    | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ }
+    | Event.Submit { pid; _ } | Event.Commit { pid; _ } | Event.Apply { pid; _ }
+    | Event.Recover { pid; _ } ->
+      Some pid
     | Event.Suspect_add { observer; _ } | Event.Suspect_remove { observer; _ } ->
       Some observer
     | Event.Drop _ | Event.Round_begin | Event.Round_end | Event.Window_open
@@ -113,7 +116,8 @@ let stamp t (ev : Event.t) =
         t.next_eid <- t.next_eid + 1;
         Some s
       | (Event.Crash _ | Event.Corrupt _ | Event.Decide _ | Event.Suspect_add _
-        | Event.Suspect_remove _) as body -> (
+        | Event.Suspect_remove _ | Event.Submit _ | Event.Commit _
+        | Event.Apply _ | Event.Recover _) as body -> (
         match located t body with
         | Some p ->
           tick t p;

@@ -97,6 +97,46 @@ let coverage_buckets ?(buckets = 10) t =
     List.init buckets (fun i -> Hashtbl.find_opt tbl i)
     |> List.filter_map Fun.id
 
+(* Totals of the replicated-service pipeline: ops entering the pending
+   queues, ops sequenced by total-order broadcast, slots applied to the
+   state machines, and recovery episodes. [None] when the trace carries no
+   service events at all, so [pp] can omit the section for non-service
+   runs. *)
+let service_totals t =
+  let submitted = ref 0
+  and committed_slots = ref 0
+  and committed_ops = ref 0
+  and applied = ref 0
+  and recovered = ref 0
+  and seen = ref false in
+  Array.iter
+    (fun ev ->
+      match ev.Event.body with
+      | Event.Submit { ops; _ } ->
+        seen := true;
+        submitted := !submitted + ops
+      | Event.Commit { ops; _ } ->
+        seen := true;
+        incr committed_slots;
+        committed_ops := !committed_ops + ops
+      | Event.Apply _ ->
+        seen := true;
+        incr applied
+      | Event.Recover _ ->
+        seen := true;
+        incr recovered
+      | _ -> ())
+    t.evs;
+  if not !seen then None
+  else Some (!submitted, !committed_slots, !committed_ops, !applied, !recovered)
+
+let recovery_timeline t =
+  Array.to_list t.evs
+  |> List.filter_map (fun ev ->
+         match ev.Event.body with
+         | Event.Recover { pid; slots } -> Some (ev.Event.time, pid, slots)
+         | _ -> None)
+
 let blame_matrix t =
   let tbl = Hashtbl.create 16 in
   Array.iter
@@ -154,6 +194,20 @@ let pp ppf t =
       List.iter
         (fun (e, p) -> Format.fprintf ppf "@,  %8d: %d" e p)
         cells));
+  (match service_totals t with
+  | None -> ()
+  | Some (submitted, slots, committed, applied, recovered) ->
+    Format.fprintf ppf
+      "@,service: %d ops submitted, %d committed over %d slots, %d applies"
+      submitted committed slots applied;
+    if recovered = 0 then Format.fprintf ppf "@,recoveries: none recorded"
+    else begin
+      Format.fprintf ppf "@,recovery timeline (replica: slots repaired):";
+      List.iter
+        (fun (time, pid, slots) ->
+          Format.fprintf ppf "@,  %a: %d slots@@t%d" Pid.pp pid slots time)
+        (recovery_timeline t)
+    end);
   (match blame_matrix t with
   | [] -> Format.fprintf ppf "@,omissions: none recorded"
   | matrix ->

@@ -48,6 +48,16 @@ val final_coverage : t -> (int * int * int) option
     non-empty cell, ascending. *)
 val coverage_buckets : ?buckets:int -> t -> (int * int) list
 
+(** Replicated-service totals
+    [(ops submitted, slots committed, ops committed, slots applied,
+    recoveries)], or [None] when the trace has no service events — the
+    census line [ftss trace] prints for service runs. *)
+val service_totals : t -> (int * int * int * int * int) option
+
+(** Recovery episodes [(time, replica, slots repaired)] in emission
+    order — one entry per [Recover] event. *)
+val recovery_timeline : t -> (int * Pid.t * int) list
+
 (** Omission counts per directed link: [((src, dst), (count, blame))].
     [blame] is the blamed endpoint of the link's first drop event. Links
     sorted by [(src, dst)]. *)

@@ -62,3 +62,50 @@ val count_agreeing_iterations :
   faulty:Pidset.t ->
   valid:('d -> bool) ->
   int * int
+
+(** {2 Repeated asynchronous consensus drivers}
+
+    The async §3 protocol already repeats internally (instance 0, 1, 2,
+    ... inside one {!Ftss_async.Sim} heap); the service tower builds on
+    that. These two drivers make the heap-reuse question measurable: run
+    [instances] consecutive consensus instances either in {e one} shared
+    simulator heap, or by {e rebuilding} a fresh heap (config, channels,
+    event queue, detector oracle) per instance. The M1 microbench prices
+    both, so the per-instance overhead of rebuilding is a documented
+    number rather than folklore. *)
+
+type async_outcome = {
+  instances_decided : int;  (** instances with at least one decision *)
+  decisions : int;  (** total decision records across all processes *)
+  end_time : int;  (** latest simulated clock reached *)
+}
+
+(** [run_async_shared ~n ~seed ~style ~propose ~instances
+    ~horizon_per_instance ()] runs one simulation of
+    [instances * horizon_per_instance] time units (plus the GST prefix)
+    and counts how many of the first [instances] instances decided.
+    [propose p i] is process [p]'s proposal for instance [i]. *)
+val run_async_shared :
+  ?obs:Ftss_obs.Obs.t ->
+  n:int ->
+  seed:int ->
+  style:Ftss_async.Consensus.style ->
+  propose:(Pid.t -> int -> int) ->
+  instances:int ->
+  horizon_per_instance:int ->
+  unit ->
+  async_outcome
+
+(** [run_async_rebuilt] consumes the same proposal stream, but tears the
+    whole simulation down and rebuilds it for every instance — the
+    configuration both drivers are compared against in M1. *)
+val run_async_rebuilt :
+  ?obs:Ftss_obs.Obs.t ->
+  n:int ->
+  seed:int ->
+  style:Ftss_async.Consensus.style ->
+  propose:(Pid.t -> int -> int) ->
+  instances:int ->
+  horizon_per_instance:int ->
+  unit ->
+  async_outcome

@@ -14,7 +14,10 @@ let location (body : Event.body) =
   match body with
   | Event.Send { src; _ } -> Some src
   | Event.Deliver { dst; _ } -> Some dst
-  | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ } -> Some pid
+  | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ }
+  | Event.Submit { pid; _ } | Event.Commit { pid; _ } | Event.Apply { pid; _ }
+  | Event.Recover { pid; _ } ->
+    Some pid
   | Event.Suspect_add { observer; _ } | Event.Suspect_remove { observer; _ } ->
     Some observer
   | Event.Drop _ | Event.Round_begin | Event.Round_end | Event.Window_open
@@ -39,7 +42,9 @@ let infer_n evs =
       | Event.Deliver { src; dst } -> max acc (1 + max src dst)
       | Event.Drop { src; dst; blame } ->
         max acc (1 + max (max src dst) (Option.value ~default:(-1) blame))
-      | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ } ->
+      | Event.Crash { pid } | Event.Corrupt { pid } | Event.Decide { pid; _ }
+      | Event.Submit { pid; _ } | Event.Commit { pid; _ } | Event.Apply { pid; _ }
+      | Event.Recover { pid; _ } ->
         max acc (1 + pid)
       | Event.Suspect_add { observer; subject }
       | Event.Suspect_remove { observer; subject } ->
@@ -115,7 +120,8 @@ let of_events list =
           Hashtbl.add suppressed i s
         | None -> ())
       | Event.Crash _ | Event.Corrupt _ | Event.Decide _ | Event.Suspect_add _
-      | Event.Suspect_remove _ -> (
+      | Event.Suspect_remove _ | Event.Submit _ | Event.Commit _ | Event.Apply _
+      | Event.Recover _ -> (
         match loc.(i) with
         | Some p ->
           parents.(i) <- program_parent p;

@@ -1,0 +1,94 @@
+type kind = Get | Put | Cas | Delete
+
+type op = { id : int; kind : kind; key : int; v1 : int; v2 : int }
+
+(* A 62-bit avalanche mix (xxhash-style finalizer over constants that fit
+   OCaml's native int), used for the per-entry digest contribution and for
+   chaining log digests. Collisions are astronomically unlikely at the
+   scales the workloads reach; nothing here is cryptographic. *)
+let mix a b =
+  let h = ref (a lxor ((b * 0x27D4_EB2F) + 0x165_667B1)) in
+  h := !h lxor (!h lsr 33);
+  h := !h * 0x27D4_EB2F;
+  h := !h lxor (!h lsr 29);
+  h := !h * 0x165_667B1;
+  h := !h lxor (!h lsr 32);
+  !h land max_int
+
+let chain h x = mix (mix 0x5EED h) x
+
+let op_digest o =
+  let k = match o.kind with Get -> 0 | Put -> 1 | Cas -> 2 | Delete -> 3 in
+  mix (mix (mix o.id k) (mix o.key o.v1)) o.v2
+
+let batch_digest ops = Array.fold_left (fun h o -> chain h (op_digest o)) 1 ops
+
+(* The replica state digest is an order-independent sum (mod 2^62) of one
+   mix per live entry, so [apply] maintains it in O(1): subtract the old
+   entry's contribution, add the new one's. Absent keys read as 0 but
+   contribute nothing — [put k 0] and "absent" are distinct states. *)
+let entry_digest key value = mix (mix 0xD1_6E57 key) value
+
+type t = {
+  tbl : (int, int) Hashtbl.t;
+  mutable dig : int;
+}
+
+let create () = { tbl = Hashtbl.create 1024; dig = 0 }
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  t.dig <- 0
+
+let get t key = Option.value ~default:0 (Hashtbl.find_opt t.tbl key)
+let mem t key = Hashtbl.mem t.tbl key
+let cardinal t = Hashtbl.length t.tbl
+let digest t = t.dig
+
+let set t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some old -> t.dig <- (t.dig - entry_digest key old) land max_int
+  | None -> ());
+  Hashtbl.replace t.tbl key value;
+  t.dig <- (t.dig + entry_digest key value) land max_int
+
+let remove t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some old ->
+    t.dig <- (t.dig - entry_digest key old) land max_int;
+    Hashtbl.remove t.tbl key
+  | None -> ()
+
+let apply t o =
+  match o.kind with
+  | Get -> ()
+  | Put -> set t o.key o.v1
+  | Cas -> if get t o.key = o.v1 then set t o.key o.v2
+  | Delete -> remove t o.key
+
+let apply_batch t ops = Array.iter (apply t) ops
+
+(* Fold over the table contents, ignoring the incremental field — the
+   ground truth a corrupted [dig] is audited against. *)
+let recompute_digest t =
+  Hashtbl.fold (fun k v acc -> (acc + entry_digest k v) land max_int) t.tbl 0
+
+(* Raw table scrambling for fault injection: entries replaced or removed
+   behind the incremental digest's back, sometimes the digest field
+   itself — exactly the redundancy-violating state the audit exists to
+   catch. *)
+let corrupt rng ~keys t =
+  let open Ftss_util in
+  let hits = 1 + Rng.int rng 8 in
+  for _ = 1 to hits do
+    if Rng.bool rng then
+      Hashtbl.replace t.tbl (Rng.int rng (max 1 keys)) (Rng.int rng 1_000_000)
+    else Hashtbl.remove t.tbl (Rng.int rng (max 1 keys))
+  done;
+  if Rng.chance rng 0.3 then t.dig <- Rng.int rng max_int
+
+let pp_op ppf o =
+  let k =
+    match o.kind with Get -> "get" | Put -> "put" | Cas -> "cas" | Delete -> "del"
+  in
+  Format.fprintf ppf "#%d %s k%d %d/%d" o.id k o.key o.v1 o.v2

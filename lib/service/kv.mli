@@ -1,0 +1,64 @@
+(** The replicated key-value state machine at the top of the service
+    tower, and the operation/digest vocabulary shared by every layer.
+
+    A replica applies the committed log deterministically: same log, same
+    table, same digest — so equal {!digest}s (or, against corrupted
+    incremental state, equal {!recompute_digest}s) at equal log positions
+    witness replica convergence. Keys and values are ints; an absent key
+    reads as 0 but is a distinct state from an explicit [put k 0]. *)
+
+type kind = Get | Put | Cas | Delete
+
+type op = {
+  id : int;  (** globally unique; the workload generator uses the op index *)
+  kind : kind;
+  key : int;
+  v1 : int;  (** [Put]: new value; [Cas]: expected value *)
+  v2 : int;  (** [Cas]: new value; unused otherwise *)
+}
+
+(** [mix a b] is the 62-bit avalanche hash every digest here is built
+    from (deterministic, non-cryptographic). *)
+val mix : int -> int -> int
+
+(** [chain h x] extends an order-{e dependent} digest chain — used for
+    log-prefix digests. *)
+val chain : int -> int -> int
+
+val op_digest : op -> int
+
+(** Order-dependent digest of one batch (a log entry). *)
+val batch_digest : op array -> int
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [get t key] is the current value, 0 when absent. *)
+val get : t -> int -> int
+
+val mem : t -> int -> bool
+val cardinal : t -> int
+
+(** The incrementally maintained state digest: an order-independent sum
+    of per-entry hashes, updated in O(1) per mutation. *)
+val digest : t -> int
+
+(** [apply t op] executes one operation: [Get] reads (no state change),
+    [Put] writes [v1], [Cas] writes [v2] iff the current value equals
+    [v1], [Delete] removes the key. *)
+val apply : t -> op -> unit
+
+val apply_batch : t -> op array -> unit
+
+(** Recompute the digest from the table contents, ignoring the
+    incremental field — the audit a transient corruption of either the
+    table or the field cannot survive. *)
+val recompute_digest : t -> int
+
+(** Fault injection: scramble table entries (keys below [keys]) behind
+    the incremental digest's back, sometimes the digest field itself. *)
+val corrupt : Ftss_util.Rng.t -> keys:int -> t -> unit
+
+val pp_op : Format.formatter -> op -> unit

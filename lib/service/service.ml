@@ -1,0 +1,425 @@
+open Ftss_util
+module Sim = Ftss_async.Sim
+module Esfd = Ftss_async.Esfd
+module Ewfd = Ftss_async.Ewfd
+
+(* The top of the tower: Tob replicas + the Esfd/Ewfd failure-detector
+   stack wired into the Sim engine, driven by a precomputed Workload, hit
+   by a configurable fault mix (crashes, omission windows, mid-run
+   corruption storms), and measured end to end — commit latency
+   percentiles, throughput, convergence, and recovery time per storm. *)
+
+type faults = {
+  storms : (int * int) list;  (* (time, victims): corruption storms *)
+  omission : (int * int * float) list;  (* (t0, t1, p): drop windows *)
+  crashes : (Pid.t * int) list;
+}
+
+let no_faults = { storms = []; omission = []; crashes = [] }
+
+type params = {
+  n : int;
+  seed : int;
+  style : Tob.style;
+  batch_max : int;
+  gst : int;
+  tick_interval : int;
+  horizon : int;  (* 0 = workload window + drain margin *)
+  faults : faults;
+}
+
+let default_params ~n ~seed =
+  {
+    n;
+    seed;
+    style = Tob.self_stabilizing;
+    batch_max = 768;
+    gst = 200;
+    tick_interval = 10;
+    horizon = 0;
+    faults = no_faults;
+  }
+
+type percentiles = { p50 : float; p90 : float; p99 : float; p999 : float; max : float }
+
+type report = {
+  n : int;
+  style : Tob.style;
+  submitted : int;
+  committed_slots : int;  (* min over live replicas *)
+  committed_ops : int;  (* reference replica, duplicates included *)
+  unique_ops : int;  (* distinct op ids in the reference log *)
+  converged : bool;  (* equal (len, log digest, KV digest) on all live *)
+  slots_checked : int;  (* per-slot apply-digest agreement ... *)
+  slots_agreeing : int;  (* ... across live replicas *)
+  log_digest : int;  (* content-recomputed, reference replica *)
+  kv_digest : int;  (* table-recomputed, reference replica *)
+  end_time : int;
+  wall_seconds : float;
+  latency : percentiles option;  (* arrival -> applied-at-origin, ticks *)
+  measured_ops : int;
+  throughput : float;  (* unique committed ops per wall second *)
+  recoveries : int;  (* recovery episodes summed over live replicas *)
+  storm_recovery : (int * int option * int option) list;
+      (* per storm: (time, applying again after, last repair after) *)
+  delivered : int;
+  dropped : int;
+}
+
+(* Digest of the deterministic portion of a report (wall-clock excluded) —
+   pinned by the golden determinism test. *)
+let report_digest r =
+  List.fold_left Kv.chain 0
+    [
+      r.submitted;
+      r.committed_slots;
+      r.committed_ops;
+      r.unique_ops;
+      (if r.converged then 1 else 0);
+      r.slots_agreeing;
+      r.log_digest;
+      r.kv_digest;
+      r.end_time;
+    ]
+
+(* --- the Sim process --- *)
+
+type state = { tob : Tob.t; mutable fd : Esfd.t; mutable cursor : int }
+type msg = Fd of Esfd.msg | Tb of Tob.msg
+
+let send_outs ctx outs =
+  List.iter
+    (function
+      | Tob.Send (dst, m) -> Sim.send ctx dst (Tb m)
+      | Tob.Bcast m -> Sim.broadcast ctx (Tb m))
+    outs
+
+let flush_notes ctx tob = List.iter (Sim.observe ctx) (Tob.drain_notes tob)
+
+let process ?obs ~wl ~params:(params : params) ~oracle () =
+  {
+    Sim.name = "service";
+    init =
+      (fun p ->
+        {
+          tob =
+            Tob.create ?obs ~n:params.n ~self:p ~style:params.style
+              ~batch_max:params.batch_max ~id_hint:(Workload.total wl) ();
+          fd = Esfd.create ~n:params.n;
+          cursor = 0;
+        });
+    on_message =
+      (fun ctx s ~src m ->
+        (match m with
+        | Fd fm -> s.fd <- Esfd.receive s.fd fm
+        | Tb tm ->
+          send_outs ctx (Tob.deliver s.tob ~now:(Sim.now ctx) ~src tm);
+          flush_notes ctx s.tob);
+        s);
+    on_tick =
+      (fun ctx s ->
+        let now = Sim.now ctx and self = Sim.self ctx in
+        (* Client arrivals attached to this replica since the last tick. *)
+        let ids = Workload.per_replica wl self in
+        let fresh = ref [] in
+        while s.cursor < Array.length ids && Workload.arrival wl ids.(s.cursor) <= now do
+          fresh := Workload.op wl ids.(s.cursor) :: !fresh;
+          s.cursor <- s.cursor + 1
+        done;
+        if !fresh <> [] then
+          send_outs ctx (Tob.submit s.tob ~now (Array.of_list (List.rev !fresh)));
+        (* The failure-detector stack. *)
+        let fd, fmsg =
+          Esfd.tick s.fd ~self
+            ~detect:(fun subject -> Ewfd.detect oracle ~at:now ~observer:self ~subject)
+        in
+        s.fd <- fd;
+        Sim.broadcast ctx (Fd fmsg);
+        (* The protocol timer. *)
+        send_outs ctx (Tob.tick s.tob ~now ~suspected:(Esfd.suspected s.fd));
+        flush_notes ctx s.tob;
+        s);
+  }
+
+(* --- fault injection --- *)
+
+let storm_entries ~n ~seed faults =
+  List.concat
+    (List.mapi
+       (fun i (time, victims) ->
+         let rng = Rng.create (Kv.mix seed (0xA11 + i)) in
+         let pids = Rng.sample rng (min victims n) (List.init n Fun.id) in
+         List.map
+           (fun p ->
+             let prng = Rng.split rng in
+             ( time,
+               p,
+               fun (s : state) ->
+                 ignore (Tob.corrupt prng s.tob);
+                 s.fd <- Esfd.corrupt prng ~num_bound:64 s.fd;
+                 s ))
+           pids)
+       faults.storms)
+
+(* Hash-based omission: deterministic in (seed, time, src, dst), so the
+   drop pattern is replayable without consuming the delay generator. *)
+let drop_fn ~seed windows =
+  match windows with
+  | [] -> None
+  | _ ->
+    Some
+      (fun ~time ~src ~dst ->
+        List.exists
+          (fun (t0, t1, prob) ->
+            time >= t0 && time <= t1
+            && float_of_int (Kv.mix (Kv.mix seed time) (Kv.mix src dst) land 0xFFFF)
+               /. 65536.0
+               < prob)
+          windows)
+
+(* --- measurement --- *)
+
+let pct sorted q =
+  let len = Array.length sorted in
+  let idx = min (len - 1) (max 0 (int_of_float (ceil (q *. float_of_int len)) - 1)) in
+  float_of_int sorted.(idx)
+
+let percentiles_of sorted =
+  if Array.length sorted = 0 then None
+  else
+    Some
+      {
+        p50 = pct sorted 0.50;
+        p90 = pct sorted 0.90;
+        p99 = pct sorted 0.99;
+        p999 = pct sorted 0.999;
+        max = float_of_int sorted.(Array.length sorted - 1);
+      }
+
+let run ?obs ~wl (params : params) =
+  let n = params.n in
+  let horizon =
+    if params.horizon > 0 then params.horizon else (Workload.spec wl).window + 3000
+  in
+  let config =
+    {
+      Sim.n;
+      seed = params.seed;
+      gst = params.gst;
+      delay_before_gst = (1, 40);
+      delay_after_gst = (1, 4);
+      tick_interval = params.tick_interval;
+      crashes = params.faults.crashes;
+      horizon;
+    }
+  in
+  let crashed p = List.assoc_opt p params.faults.crashes in
+  let trusted =
+    let rec first p = if crashed p = None then p else first (p + 1) in
+    first 0
+  in
+  let oracle =
+    Ewfd.make (Rng.create (params.seed + 7)) ~n ~crashed ~gst:params.gst ~trusted
+      ~noise:0.05
+  in
+  let corrupt_at = storm_entries ~n ~seed:params.seed params.faults in
+  let drop = drop_fn ~seed:params.seed params.faults.omission in
+  let t0 = Sys.time () in
+  let result = Sim.run ?obs ~corrupt_at ?drop config (process ?obs ~wl ~params ~oracle ()) in
+  let wall_seconds = Sys.time () -. t0 in
+  (* Survivors and the reference replica (lowest live pid). *)
+  let live = ref [] in
+  Array.iteri
+    (fun p s -> match s with Some s -> live := (p, s) :: !live | None -> ())
+    result.Sim.final_states;
+  let live = List.rev !live in
+  if Sys.getenv_opt "TOB_DEBUG" <> None then
+    List.iter
+      (fun (p, s) ->
+        Printf.eprintf "p%d: committed=%d content=%d kvrec=%d recov=%d\n%!" p
+          (Tob.committed s.tob) (Tob.content_digest s.tob) (Tob.kv_recomputed s.tob)
+          (Tob.recoveries s.tob))
+      live;
+  let reference = match live with (_, s) :: _ -> Some s | [] -> None in
+  let committed_slots =
+    List.fold_left
+      (fun acc (_, s) -> min acc (Tob.committed s.tob))
+      max_int live
+    |> fun m -> if m = max_int then 0 else m
+  in
+  let summaries =
+    List.map
+      (fun (_, s) ->
+        (Tob.committed s.tob, Tob.content_digest s.tob, Tob.kv_recomputed s.tob))
+      live
+  in
+  let converged =
+    match summaries with
+    | [] -> false
+    | first :: rest -> List.for_all (( = ) first) rest
+  in
+  (* Reference log: op -> slot (first occurrence), plus op accounting. *)
+  let total = Workload.total wl in
+  let slot_of = Array.make total (-1) in
+  let committed_ops = ref 0 and unique_ops = ref 0 in
+  (match reference with
+  | Some s ->
+    for slot = 0 to Tob.committed s.tob - 1 do
+      Array.iter
+        (fun (o : Kv.op) ->
+          incr committed_ops;
+          if o.Kv.id >= 0 && o.Kv.id < total && slot_of.(o.Kv.id) < 0 then begin
+            slot_of.(o.Kv.id) <- slot;
+            incr unique_ops
+          end)
+        (Tob.log_entry s.tob slot)
+    done
+  | None -> ());
+  (* Scan the observation log once: first/last apply time and last apply
+     digest per (replica, slot), submissions, recovery episodes. *)
+  let max_slot = ref (-1) in
+  List.iter
+    (function
+      | _, _, Tob.Applied { slot; _ } -> if slot > !max_slot then max_slot := slot
+      | _ -> ())
+    result.Sim.log;
+  let slots = !max_slot + 1 in
+  let first_apply = Array.make_matrix n (max 1 slots) max_int in
+  let last_apply_digest = Array.make_matrix n (max 1 slots) 0 in
+  let submitted = ref 0 in
+  let recover_times = ref [] in
+  List.iter
+    (fun (time, pid, note) ->
+      match note with
+      | Tob.Submitted { ops } -> submitted := !submitted + ops
+      | Tob.Applied { slot; digest } ->
+        if time < first_apply.(pid).(slot) then first_apply.(pid).(slot) <- time;
+        last_apply_digest.(pid).(slot) <- digest
+      | Tob.Recovered _ -> recover_times := (time, pid) :: !recover_times
+      | Tob.Committed _ -> ())
+    result.Sim.log;
+  let live_pids = List.map fst live in
+  (* Per-slot convergence: the digest of the last application of each
+     fully shared slot must agree across live replicas. *)
+  let slots_checked = min committed_slots slots in
+  let slots_agreeing = ref 0 in
+  for s = 0 to slots_checked - 1 do
+    match live_pids with
+    | [] -> ()
+    | p0 :: rest ->
+      if
+        List.for_all
+          (fun p -> last_apply_digest.(p).(s) = last_apply_digest.(p0).(s))
+          rest
+      then incr slots_agreeing
+  done;
+  (* End-to-end latency: arrival -> first application at the origin
+     replica (any live replica when the origin crashed or lags). *)
+  let lat = Array.make (max 1 !unique_ops) 0 in
+  let measured = ref 0 in
+  for id = 0 to total - 1 do
+    let s = slot_of.(id) in
+    if s >= 0 && s < slots then begin
+      let origin = Workload.origin wl id in
+      let t_apply =
+        if first_apply.(origin).(s) < max_int then first_apply.(origin).(s)
+        else
+          List.fold_left (fun acc p -> min acc first_apply.(p).(s)) max_int live_pids
+      in
+      if t_apply < max_int then begin
+        lat.(!measured) <- max 0 (t_apply - Workload.arrival wl id);
+        incr measured
+      end
+    end
+  done;
+  let lat = Array.sub lat 0 !measured in
+  Array.sort compare lat;
+  (* Recovery after each storm: when does every live replica apply again,
+     and when does the last repair episode in the storm's window end? *)
+  let storm_times =
+    List.sort_uniq compare (List.map fst params.faults.storms)
+  in
+  let bound_after t =
+    match List.find_opt (fun t' -> t' > t) storm_times with
+    | Some t' -> t'
+    | None -> result.Sim.end_time + 1
+  in
+  let storm_recovery =
+    List.map
+      (fun t ->
+        let resumed =
+          List.fold_left
+            (fun acc p ->
+              let first =
+                let best = ref max_int in
+                for s = 0 to slots - 1 do
+                  if first_apply.(p).(s) > t && first_apply.(p).(s) < !best then
+                    best := first_apply.(p).(s)
+                done;
+                !best
+              in
+              match acc with
+              | None -> None
+              | Some worst -> if first = max_int then None else Some (max worst first))
+            (Some 0) live_pids
+        in
+        let healed =
+          List.fold_left
+            (fun acc (rt, _) ->
+              if rt > t && rt < bound_after t then
+                Some (max (Option.value ~default:0 acc) (rt - t))
+              else acc)
+            None !recover_times
+        in
+        (t, Option.map (fun r -> r - t) resumed, healed))
+      storm_times
+  in
+  let recoveries = List.fold_left (fun acc (_, s) -> acc + Tob.recoveries s.tob) 0 live in
+  let log_digest, kv_digest =
+    match reference with
+    | Some s -> (Tob.content_digest s.tob, Tob.kv_recomputed s.tob)
+    | None -> (0, 0)
+  in
+  {
+    n;
+    style = params.style;
+    submitted = !submitted;
+    committed_slots;
+    committed_ops = !committed_ops;
+    unique_ops = !unique_ops;
+    converged;
+    slots_checked;
+    slots_agreeing = !slots_agreeing;
+    log_digest;
+    kv_digest;
+    end_time = result.Sim.end_time;
+    wall_seconds;
+    latency = percentiles_of lat;
+    measured_ops = !measured;
+    throughput =
+      (if wall_seconds > 0.0 then float_of_int !unique_ops /. wall_seconds else 0.0);
+    recoveries;
+    storm_recovery;
+    delivered = result.Sim.delivered;
+    dropped = result.Sim.dropped_after_crash + result.Sim.dropped_by_adversary;
+  }
+
+let pp_report ppf r =
+  let pp_lat ppf = function
+    | None -> Format.fprintf ppf "n/a"
+    | Some l ->
+      Format.fprintf ppf "p50=%.0f p90=%.0f p99=%.0f p99.9=%.0f max=%.0f" l.p50 l.p90
+        l.p99 l.p999 l.max
+  in
+  Format.fprintf ppf
+    "@[<v>service n=%d style=%s@,\
+     ops: %d submitted, %d unique committed (%d total) over %d slots@,\
+     converged=%b slots agreeing=%d/%d@,\
+     latency (ticks): %a@,\
+     throughput: %.0f committed ops/s (wall %.2fs, sim end t=%d)@,\
+     recoveries=%d delivered=%d dropped=%d@]"
+    r.n
+    (if r.style.Tob.recover then "self-stabilizing" else "baseline")
+    r.submitted r.unique_ops r.committed_ops r.committed_slots r.converged
+    r.slots_agreeing r.slots_checked pp_lat r.latency r.throughput r.wall_seconds
+    r.end_time r.recoveries r.delivered r.dropped

@@ -1,0 +1,75 @@
+(** The service-tower driver: {!Tob} replicas plus the {!Ftss_async.Esfd}
+    / {!Ftss_async.Ewfd} failure-detector stack wired into the
+    {!Ftss_async.Sim} engine, driven by a precomputed {!Workload}, hit by
+    a configurable fault mix (crashes, omission windows, mid-run
+    corruption storms), and measured end to end. *)
+
+open Ftss_util
+
+type faults = {
+  storms : (int * int) list;
+      (** corruption storms: at each [(time, victims)], that many
+          randomly chosen replicas have their whole protocol state
+          (log, KV, engine, detector) scrambled *)
+  omission : (int * int * float) list;
+      (** message-omission windows [(t0, t1, p)]: every non-self message
+          in the window is dropped with probability [p], hash-determined *)
+  crashes : (Pid.t * int) list;
+}
+
+val no_faults : faults
+
+type params = {
+  n : int;
+  seed : int;
+  style : Tob.style;
+  batch_max : int;
+  gst : int;
+  tick_interval : int;
+  horizon : int;  (** 0 = workload window + drain margin *)
+  faults : faults;
+}
+
+val default_params : n:int -> seed:int -> params
+
+type percentiles = { p50 : float; p90 : float; p99 : float; p999 : float; max : float }
+
+type report = {
+  n : int;
+  style : Tob.style;
+  submitted : int;
+  committed_slots : int;  (** min over live replicas *)
+  committed_ops : int;  (** reference replica, duplicates included *)
+  unique_ops : int;  (** distinct op ids in the reference log *)
+  converged : bool;
+      (** live replicas agree on log length, content-recomputed log
+          digest, and table-recomputed KV digest *)
+  slots_checked : int;
+  slots_agreeing : int;
+      (** slots whose last-apply digest agrees across live replicas *)
+  log_digest : int;
+  kv_digest : int;
+  end_time : int;
+  wall_seconds : float;
+  latency : percentiles option;
+      (** arrival to first application at the origin replica, in ticks *)
+  measured_ops : int;
+  throughput : float;  (** unique committed ops per wall-clock second *)
+  recoveries : int;
+  storm_recovery : (int * int option * int option) list;
+      (** per storm time: ticks until every live replica applies again,
+          and ticks until the last repair episode in the storm's window *)
+  delivered : int;
+  dropped : int;
+}
+
+(** Digest of the deterministic portion of a report (wall-clock excluded)
+    — pinned by the golden determinism test. *)
+val report_digest : report -> int
+
+(** [run ?obs ~wl params] executes one full workload through the tower
+    and measures it. With [obs], every layer (engine, detector, service)
+    emits its event stream. *)
+val run : ?obs:Ftss_obs.Obs.t -> wl:Workload.t -> params -> report
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,708 @@
+open Ftss_util
+
+(* Self-stabilizing total-order broadcast: one {!Mv_consensus} instance
+   per log slot, plus the machinery that makes the log itself
+   self-stabilizing — an integrity guard over the replica's summary
+   fields, a cyclic audit re-validating the log and KV state against
+   their digests, checkpointed digest gossip that detects cross-replica
+   divergence, and majority-directed state transfer that repairs it. *)
+
+type style = { retransmit : bool; recover : bool }
+
+let self_stabilizing = { retransmit = true; recover = true }
+let baseline = { retransmit = false; recover = false }
+
+type batch = Kv.op array
+
+type msg =
+  | Cons of { slot : int; m : batch Mv_consensus.msg }
+  | Decide of { slot : int; batch : batch }
+  | Fwd of batch
+  | Tag of { len : int; round : int; cp : int; cp_log : int; kvh : int; kv_d : int }
+  | Pull_req of { from : int }
+  | Pull_rep of { from : int; entries : batch array }
+
+type out = Send of Pid.t * msg | Bcast of msg
+
+type note =
+  | Submitted of { ops : int }
+  | Committed of { slot : int; ops : int }
+  | Applied of { slot : int; digest : int }
+  | Recovered of { slots : int }
+
+type t = {
+  n : int;
+  self : Pid.t;
+  style : style;
+  batch_max : int;
+  checkpoint : int;
+  obs : Ftss_obs.Obs.t option;
+  (* the committed log: [0, committed) of [log] is live; [pdig.(i)] is
+     the chained digest of the length-[i] prefix *)
+  mutable log : batch array;
+  mutable committed : int;
+  mutable pdig : int array;
+  (* the state machine *)
+  kv : Kv.t;
+  mutable applied : int;
+  mutable kvh : int; (* height of the last KV checkpoint snapshot *)
+  mutable kv_cp : int; (* table-recomputed KV digest at that height *)
+  (* pending client operations: FIFO plus bitsets (indexed by op id) for
+     dedup and committed-filtering *)
+  queue : Kv.op Queue.t;
+  mutable queued : Bytes.t;
+  mutable donebits : Bytes.t;
+  (* the consensus engine for slot [committed] *)
+  mutable engine : batch Mv_consensus.t option;
+  (* catch-up and repair *)
+  future : (int, batch) Hashtbl.t;
+  mutable pull : (Pid.t * int * int) option;
+      (* outstanding request: peer, tick it was issued, [from] asked for *)
+  mutable log_conflict : Pidset.t;
+  mutable log_agree : Pidset.t;
+  mutable kv_conflict : Pidset.t;
+  (* soft per-peer gossip state, refreshed by every [Tag] *)
+  peer_len : int array;
+  peer_cp : int array;
+  peer_cpd : int array;
+  (* clocks, audit cursor, integrity guard *)
+  mutable ticks : int;
+  mutable audit_cursor : int;
+  mutable guard : int;
+  (* measurement *)
+  mutable notes : note list; (* reversed *)
+  mutable recoveries : int;
+}
+
+let pull_patience = 5 (* ticks before an unanswered pull may be retried *)
+let audit_interval = 64 (* ticks between self-audits *)
+let audit_window = 32 (* log slots re-validated per audit *)
+
+(* --- bitsets over op ids --- *)
+
+let bit_get b i =
+  i >= 0
+  && i < 8 * Bytes.length b
+  && Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let ensure_bits t i =
+  if i >= 8 * Bytes.length t.queued then begin
+    let bytes = max (2 * Bytes.length t.queued) ((i lsr 3) + 1) in
+    let grow old =
+      let b = Bytes.make bytes '\000' in
+      Bytes.blit old 0 b 0 (Bytes.length old);
+      b
+    in
+    t.queued <- grow t.queued;
+    t.donebits <- grow t.donebits
+  end
+
+let is_done t (o : Kv.op) = bit_get t.donebits o.Kv.id
+
+let mark_done t (o : Kv.op) =
+  ensure_bits t o.Kv.id;
+  bit_set t.donebits o.Kv.id
+
+(* --- log storage --- *)
+
+let ensure_log_cap t k =
+  if k > Array.length t.log then begin
+    let cap = max (2 * Array.length t.log) k in
+    let log = Array.make cap [||] in
+    Array.blit t.log 0 log 0 (Array.length t.log);
+    t.log <- log
+  end;
+  if k + 1 > Array.length t.pdig then begin
+    let cap = max (2 * Array.length t.pdig) (k + 1) in
+    let pdig = Array.make cap 0 in
+    Array.blit t.pdig 0 pdig 0 (Array.length t.pdig);
+    t.pdig <- pdig
+  end
+
+let cp_of t len = len - (len mod t.checkpoint)
+
+(* --- observability --- *)
+
+let note t x = t.notes <- x :: t.notes
+
+let drain_notes t =
+  let ns = List.rev t.notes in
+  t.notes <- [];
+  ns
+
+let emit t ~now body =
+  match t.obs with
+  | Some o -> Ftss_obs.Obs.emit o (Ftss_obs.Event.make ~time:now body)
+  | None -> ()
+
+(* --- integrity guard --- *)
+
+let guard_of t =
+  Kv.mix
+    (Kv.mix (Kv.mix t.committed t.pdig.(t.committed)) (Kv.mix t.applied (Kv.digest t.kv)))
+    (Kv.mix t.kvh t.kv_cp)
+
+let refresh_guard t = t.guard <- guard_of t
+
+let create ?obs ~n ~self ~style ~batch_max ?(checkpoint = 64) ?(id_hint = 1024) () =
+  if n < 1 then invalid_arg "Tob.create: n < 1";
+  if batch_max < 1 then invalid_arg "Tob.create: batch_max < 1";
+  if checkpoint < 1 then invalid_arg "Tob.create: checkpoint < 1";
+  let bytes = max 16 ((id_hint lsr 3) + 1) in
+  let t =
+    {
+      n;
+      self;
+      style;
+      batch_max;
+      checkpoint;
+      obs;
+      log = Array.make 64 [||];
+      committed = 0;
+      pdig = Array.make 65 0;
+      kv = Kv.create ();
+      applied = 0;
+      kvh = 0;
+      kv_cp = 0;
+      queue = Queue.create ();
+      queued = Bytes.make bytes '\000';
+      donebits = Bytes.make bytes '\000';
+      engine = None;
+      future = Hashtbl.create 16;
+      pull = None;
+      log_conflict = Pidset.empty;
+      log_agree = Pidset.empty;
+      kv_conflict = Pidset.empty;
+      peer_len = Array.make n 0;
+      peer_cp = Array.make n 0;
+      peer_cpd = Array.make n 0;
+      ticks = 0;
+      audit_cursor = 0;
+      guard = 0;
+      notes = [];
+      recoveries = 0;
+    }
+  in
+  refresh_guard t;
+  t
+
+(* --- accessors --- *)
+
+let committed t = t.committed
+let applied t = t.applied
+let log_digest t = t.pdig.(t.committed)
+let kv_digest t = Kv.digest t.kv
+let kv_recomputed t = Kv.recompute_digest t.kv
+let recoveries t = t.recoveries
+let log_entry t i = t.log.(i)
+let kv t = t.kv
+
+(* Recompute the log-content digest chain from scratch — the ground truth
+   [pdig] is audited against, and the strict convergence check. *)
+let content_digest t =
+  let h = ref 0 in
+  for i = 0 to t.committed - 1 do
+    h := Kv.chain !h (Kv.batch_digest t.log.(i))
+  done;
+  !h
+
+(* --- pending queue --- *)
+
+let prune t =
+  let rec go () =
+    match Queue.peek_opt t.queue with
+    | Some o when is_done t o ->
+      ignore (Queue.pop t.queue);
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let has_pending t =
+  prune t;
+  not (Queue.is_empty t.queue)
+
+let enqueue_ops t ops =
+  Array.iter
+    (fun (o : Kv.op) ->
+      ensure_bits t o.Kv.id;
+      if not (bit_get t.donebits o.Kv.id || bit_get t.queued o.Kv.id) then begin
+        bit_set t.queued o.Kv.id;
+        Queue.add o t.queue
+      end)
+    ops
+
+let make_batch t =
+  prune t;
+  let acc = ref [] and count = ref 0 in
+  (try
+     Queue.iter
+       (fun o ->
+         if not (is_done t o) then begin
+           acc := o :: !acc;
+           incr count;
+           if !count >= t.batch_max then raise Exit
+         end)
+       t.queue
+   with Exit -> ());
+  Array.of_list (List.rev !acc)
+
+(* --- applying the log --- *)
+
+let apply_forward t ~now =
+  while t.applied < t.committed do
+    Kv.apply_batch t.kv t.log.(t.applied);
+    t.applied <- t.applied + 1;
+    let digest = Kv.digest t.kv in
+    note t (Applied { slot = t.applied - 1; digest });
+    emit t ~now (Ftss_obs.Event.Apply { pid = t.self; slot = t.applied - 1; digest });
+    if t.applied mod t.checkpoint = 0 then begin
+      t.kvh <- t.applied;
+      t.kv_cp <- Kv.recompute_digest t.kv
+    end
+  done
+
+(* --- committing --- *)
+
+let commit_batch t ~now batch =
+  ensure_log_cap t (t.committed + 1);
+  t.log.(t.committed) <- batch;
+  t.pdig.(t.committed + 1) <- Kv.chain t.pdig.(t.committed) (Kv.batch_digest batch);
+  t.committed <- t.committed + 1;
+  Array.iter (mark_done t) batch;
+  t.engine <- None;
+  note t (Committed { slot = t.committed - 1; ops = Array.length batch });
+  emit t ~now
+    (Ftss_obs.Event.Commit
+       { pid = t.self; slot = t.committed - 1; ops = Array.length batch });
+  apply_forward t ~now
+
+let rec drain_future t ~now =
+  match Hashtbl.find_opt t.future t.committed with
+  | Some b ->
+    Hashtbl.remove t.future t.committed;
+    commit_batch t ~now b;
+    drain_future t ~now
+  | None -> ()
+
+(* --- the consensus engine for slot [committed] --- *)
+
+let map_outs slot outs =
+  List.map
+    (function
+      | Mv_consensus.To (d, m) -> Send (d, Cons { slot; m })
+      | Mv_consensus.All m -> Bcast (Cons { slot; m }))
+    outs
+
+let enter_engine t =
+  let proposal = make_batch t in
+  let eng, outs =
+    Mv_consensus.create ~n:t.n ~self:t.self ~base:t.committed ~weight:Array.length
+      ~proposal
+  in
+  t.engine <- Some eng;
+  map_outs t.committed outs
+
+let decide t ~now batch =
+  let slot = t.committed in
+  commit_batch t ~now batch;
+  drain_future t ~now;
+  let outs = [ Bcast (Decide { slot; batch }) ] in
+  if has_pending t then outs @ enter_engine t else outs
+
+(* --- recovery --- *)
+
+(* Rebuild every derived structure from the log — the single repair
+   primitive behind both local recovery (after a detected corruption) and
+   truncating state transfer. [log] and [committed] are taken as the new
+   ground truth; prefix digests, the KV state, both bitsets and the
+   pending queue are recomputed from them. *)
+let rebuild_from_log t ~now =
+  ensure_log_cap t t.committed;
+  t.pdig.(0) <- 0;
+  for i = 0 to t.committed - 1 do
+    t.pdig.(i + 1) <- Kv.chain t.pdig.(i) (Kv.batch_digest t.log.(i))
+  done;
+  Kv.reset t.kv;
+  t.applied <- 0;
+  t.kvh <- 0;
+  t.kv_cp <- 0;
+  Bytes.fill t.queued 0 (Bytes.length t.queued) '\000';
+  Bytes.fill t.donebits 0 (Bytes.length t.donebits) '\000';
+  for i = 0 to t.committed - 1 do
+    Array.iter (mark_done t) t.log.(i)
+  done;
+  let keep = Queue.create () in
+  Queue.iter
+    (fun (o : Kv.op) ->
+      if not (is_done t o) && not (bit_get t.queued o.Kv.id) then begin
+        bit_set t.queued o.Kv.id;
+        Queue.add o keep
+      end)
+    t.queue;
+  Queue.clear t.queue;
+  Queue.transfer keep t.queue;
+  t.engine <- None;
+  Hashtbl.reset t.future;
+  t.pull <- None;
+  t.log_conflict <- Pidset.empty;
+  t.log_agree <- Pidset.empty;
+  t.kv_conflict <- Pidset.empty;
+  Array.fill t.peer_len 0 t.n 0;
+  Array.fill t.peer_cp 0 t.n 0;
+  Array.fill t.peer_cpd 0 t.n 0;
+  apply_forward t ~now;
+  refresh_guard t
+
+let recover_local t ~now =
+  (* Clamp the summary counters into the structurally possible range,
+     then rebuild everything from the log content. Entries a corruption
+     blanked or garbled become part of the (honestly re-digested) log and
+     are healed by the cross-replica conflict machinery. *)
+  if t.committed < 0 then t.committed <- 0;
+  if t.committed > Array.length t.log then t.committed <- Array.length t.log;
+  rebuild_from_log t ~now;
+  t.recoveries <- t.recoveries + 1;
+  note t (Recovered { slots = t.committed });
+  emit t ~now (Ftss_obs.Event.Recover { pid = t.self; slots = t.committed })
+
+let integrity_check t ~now =
+  if t.style.recover && t.guard <> guard_of t then recover_local t ~now
+
+(* The cyclic self-audit: re-derive the KV digest from the table, and
+   re-validate one window of log content against the stored prefix
+   digests. Either mismatch means a transient fault slipped past the
+   cheap guard; local recovery re-digests honestly, after which
+   cross-replica gossip repairs any surviving divergence. *)
+let audit t ~now =
+  if t.style.recover && t.ticks mod audit_interval = 0 then begin
+    if Kv.recompute_digest t.kv <> Kv.digest t.kv then recover_local t ~now
+    else begin
+      if t.audit_cursor >= t.committed then t.audit_cursor <- 0;
+      let stop = min t.committed (t.audit_cursor + audit_window) in
+      let h = ref t.pdig.(t.audit_cursor) in
+      for i = t.audit_cursor to stop - 1 do
+        h := Kv.chain !h (Kv.batch_digest t.log.(i))
+      done;
+      let ok = !h = t.pdig.(stop) in
+      t.audit_cursor <- stop;
+      if not ok then recover_local t ~now
+    end
+  end
+
+let request_pull t peer ~from =
+  match t.pull with
+  | Some _ -> []
+  | None ->
+    t.pull <- Some (peer, t.ticks, from);
+    [ Send (peer, Pull_req { from }) ]
+
+(* --- client submissions --- *)
+
+let submit t ~now ops =
+  integrity_check t ~now;
+  if Array.length ops = 0 then []
+  else begin
+    enqueue_ops t ops;
+    note t (Submitted { ops = Array.length ops });
+    emit t ~now (Ftss_obs.Event.Submit { pid = t.self; ops = Array.length ops });
+    refresh_guard t;
+    [ Bcast (Fwd ops) ]
+  end
+
+(* --- message handling --- *)
+
+let on_cons t ~now ~src ~slot m =
+  if slot < t.committed then [ Send (src, Decide { slot; batch = t.log.(slot) }) ]
+  else if slot > t.committed then
+    (* A peer running consensus ahead of us is not, by itself, authority
+       to transfer state — a corrupted replica's scrambled height would
+       drag everyone along. Catch-up is majority-gated on [tick]. *)
+    []
+  else begin
+    let outs = if t.engine = None then enter_engine t else [] in
+    match t.engine with
+    | None -> outs (* unreachable: enter_engine just installed one *)
+    | Some eng ->
+      let eng, mouts, verdict = Mv_consensus.receive eng ~src m in
+      t.engine <- Some eng;
+      let outs = outs @ map_outs slot mouts in
+      (match verdict with
+      | Mv_consensus.Decided batch -> outs @ decide t ~now batch
+      | Mv_consensus.Continue -> outs)
+  end
+
+let on_decide t ~now ~slot batch =
+  if slot = t.committed then begin
+    commit_batch t ~now batch;
+    drain_future t ~now;
+    if has_pending t then enter_engine t else []
+  end
+  else if slot > t.committed then begin
+    Hashtbl.replace t.future slot batch;
+    []
+  end
+  else []
+
+let on_tag t ~src ~len ~round ~cp ~cp_log ~kvh ~kv_d =
+  t.peer_len.(src) <- len;
+  t.peer_cp.(src) <- cp;
+  t.peer_cpd.(src) <- cp_log;
+  let outs = [] in
+  let outs =
+    if len <> t.committed then outs
+    else
+      match t.engine with
+      | Some eng when round > Mv_consensus.round eng ->
+        let eng, mouts = Mv_consensus.jump eng ~round in
+        t.engine <- Some eng;
+        outs @ map_outs t.committed mouts
+      | Some _ -> outs
+      | None ->
+        (* The peer is running consensus on our next slot: participate,
+           even with an empty proposal, so majorities can form. *)
+        if round >= 0 then outs @ enter_engine t else outs
+  in
+  if
+    t.style.recover
+    && (not (Pid.equal src t.self))
+    && cp >= 0
+    && cp mod t.checkpoint = 0
+    && cp <= t.committed
+  then begin
+    if t.pdig.(cp) <> cp_log then begin
+      t.log_conflict <- Pidset.add src t.log_conflict;
+      t.log_agree <- Pidset.remove src t.log_agree
+    end
+    else begin
+      t.log_conflict <- Pidset.remove src t.log_conflict;
+      t.log_agree <- Pidset.add src t.log_agree;
+      if kvh = t.kvh && kvh > 0 then
+        if kv_d <> t.kv_cp then t.kv_conflict <- Pidset.add src t.kv_conflict
+        else t.kv_conflict <- Pidset.remove src t.kv_conflict
+    end
+  end;
+  outs
+
+let on_pull_rep t ~now ~src ~from ~entries =
+  let len = Array.length entries in
+  let solicited =
+    match t.pull with
+    | Some (peer, _, f) -> Pid.equal peer src && f = from
+    | None -> false
+  in
+  if from < 0 || len = 0 then []
+  else if solicited && from = 0 then begin
+    (* The reply to a repair pull: we already established (by majority
+       digest conflict) that our log is the divergent one, so the peer's
+       log replaces ours wholesale — even at equal length, which is the
+       common case for a divergence with no length gap. A reply identical
+       to what we hold is a no-op. *)
+    t.pull <- None;
+    let adopted = Array.fold_left (fun h b -> Kv.chain h (Kv.batch_digest b)) 0 entries in
+    if len = t.committed && adopted = content_digest t then []
+    else begin
+      if Sys.getenv_opt "TOB_DEBUG" <> None then
+        Printf.eprintf "[t=%d] p%d repair adopt from p%d len %d -> %d\n%!" now t.self
+          src t.committed len;
+      ensure_log_cap t len;
+      Array.blit entries 0 t.log 0 len;
+      t.committed <- len;
+      rebuild_from_log t ~now;
+      t.recoveries <- t.recoveries + 1;
+      note t (Recovered { slots = len });
+      emit t ~now (Ftss_obs.Event.Recover { pid = t.self; slots = len });
+      if has_pending t then enter_engine t else []
+    end
+  end
+  else if from > t.committed || from + len <= t.committed then []
+  else begin
+    (* Catch-up (solicited or not): adopt only the strict extension of
+       the log we hold — the entries past our current length. If our
+       prefix actually diverges from the peer's, checkpoint gossip
+       detects it and the majority-gated repair path resolves it. *)
+    if solicited then t.pull <- None;
+    let offset = t.committed - from in
+    ensure_log_cap t (from + len);
+    Array.blit entries offset t.log t.committed (len - offset);
+    t.committed <- from + len;
+    for i = from + offset to t.committed - 1 do
+      t.pdig.(i + 1) <- Kv.chain t.pdig.(i) (Kv.batch_digest t.log.(i));
+      Array.iter (mark_done t) t.log.(i)
+    done;
+    t.engine <- None;
+    apply_forward t ~now;
+    drain_future t ~now;
+    refresh_guard t;
+    if has_pending t then enter_engine t else []
+  end
+
+let deliver t ~now ~src msg =
+  integrity_check t ~now;
+  let outs =
+    match msg with
+    | Fwd ops ->
+      enqueue_ops t ops;
+      []
+    | Cons { slot; m } -> on_cons t ~now ~src ~slot m
+    | Decide { slot; batch } -> on_decide t ~now ~slot batch
+    | Tag { len; round; cp; cp_log; kvh; kv_d } ->
+      on_tag t ~src ~len ~round ~cp ~cp_log ~kvh ~kv_d
+    | Pull_req { from } ->
+      if from >= 0 && from < t.committed then
+        [ Send (src, Pull_rep { from; entries = Array.sub t.log from (t.committed - from) }) ]
+      else []
+    | Pull_rep { from; entries } -> on_pull_rep t ~now ~src ~from ~entries
+  in
+  refresh_guard t;
+  outs
+
+(* --- the timer --- *)
+
+let tick t ~now ~suspected =
+  t.ticks <- t.ticks + 1;
+  integrity_check t ~now;
+  audit t ~now;
+  (match t.pull with
+  | Some (_, since, _) when t.ticks - since > pull_patience -> t.pull <- None
+  | _ -> ());
+  let outs = ref [] in
+  let push os = outs := !outs @ os in
+  let suspects = ref 0 in
+  for p = 0 to t.n - 1 do
+    if (not (Pid.equal p t.self)) && suspected p then incr suspects
+  done;
+  let alive_others = max 1 (t.n - 1 - !suspects) in
+  (* Majority-gated catch-up: transfer the missing suffix only when more
+     than half of the live peers advertise a longer log, and from a peer
+     advertising the median such length — one corrupted replica
+     advertising a scrambled-huge log cannot drag anyone along. *)
+  let longer = ref [] in
+  for p = 0 to t.n - 1 do
+    if
+      (not (Pid.equal p t.self))
+      && (not (suspected p))
+      && t.peer_len.(p) > t.committed
+    then longer := (t.peer_len.(p), p) :: !longer
+  done;
+  let cnt = List.length !longer in
+  if 2 * cnt > alive_others then begin
+    let sorted = List.sort compare !longer in
+    let _, peer = List.nth sorted (cnt / 2) in
+    push (request_pull t peer ~from:t.committed)
+  end;
+  (* Cross-replica repair: a replica adopts another camp's log only when
+     the largest group of conflicting peers that agree {e among
+     themselves} outweighs its own camp (itself plus the peers agreeing
+     with it) — so the divergent minority pulls from the correct
+     majority, and the majority never adopts a corrupted log just
+     because a suspected process shrank the denominator. Digest ties
+     (camps of equal weight) are broken by the camps' advertised
+     checkpoint digests, so exactly one side moves. A KV conflict under
+     an agreeing log is repaired by replaying our own log. *)
+  if t.style.recover then begin
+    if not (Pidset.is_empty t.log_conflict) then begin
+      let groups = Hashtbl.create 8 in
+      Pidset.iter
+        (fun p ->
+          let key = (t.peer_cp.(p), t.peer_cpd.(p)) in
+          let prev = Option.value ~default:[] (Hashtbl.find_opt groups key) in
+          Hashtbl.replace groups key (p :: prev))
+        t.log_conflict;
+      (* Largest camp wins; equal-sized camps are ordered by their
+         (checkpoint, digest) key so every replica elects the same one. *)
+      let best =
+        Hashtbl.fold
+          (fun key ps acc ->
+            match acc with
+            | Some (k, a)
+              when List.length a > List.length ps
+                   || (List.length a = List.length ps && compare k key >= 0) -> acc
+            | _ -> Some (key, ps))
+          groups None
+      in
+      let my_camp = 1 + Pidset.cardinal t.log_agree in
+      (match best with
+      | Some (theirs, (peer :: _ as ps)) ->
+        let mine = (cp_of t t.committed, t.pdig.(cp_of t t.committed)) in
+        if
+          List.length ps > my_camp
+          || (List.length ps = my_camp && compare theirs mine > 0)
+        then begin
+          if Sys.getenv_opt "TOB_DEBUG" <> None then
+            Printf.eprintf
+              "[t=%d] p%d log-conflict %s camp %d vs %d -> full pull from p%d (len=%d)\n%!"
+              now t.self
+              (Pidset.to_string t.log_conflict)
+              (List.length ps) my_camp peer t.committed;
+          push (request_pull t peer ~from:0);
+          t.log_conflict <- Pidset.empty;
+          t.kv_conflict <- Pidset.empty
+        end
+      | Some (_, []) | None -> ())
+    end
+    else if 2 * Pidset.cardinal t.kv_conflict > alive_others then begin
+      rebuild_from_log t ~now;
+      t.recoveries <- t.recoveries + 1;
+      note t (Recovered { slots = t.committed });
+      emit t ~now (Ftss_obs.Event.Recover { pid = t.self; slots = t.committed });
+      t.kv_conflict <- Pidset.empty
+    end
+  end;
+  (* Drive the current slot's consensus. *)
+  (match t.engine with
+  | None -> if has_pending t then push (enter_engine t)
+  | Some eng ->
+    let eng, mouts, verdict =
+      Mv_consensus.tick eng ~suspected ~retransmit:t.style.retransmit
+    in
+    t.engine <- Some eng;
+    push (map_outs t.committed mouts);
+    (match verdict with
+    | Mv_consensus.Decided batch -> push (decide t ~now batch)
+    | Mv_consensus.Continue -> ()));
+  (* The decision-retransmission superimposition: the latest committed
+     slot is re-broadcast every tick, healing single-slot gaps fast. *)
+  if t.style.retransmit && t.committed > 0 then
+    push
+      [ Bcast (Decide { slot = t.committed - 1; batch = t.log.(t.committed - 1) }) ];
+  (* The Tag heartbeat: combined round-agreement gossip (Figure 1 lifted
+     to (slot, round)), catch-up beacon, and checkpoint digest exchange. *)
+  let cp = cp_of t t.committed in
+  push
+    [
+      Bcast
+        (Tag
+           {
+             len = t.committed;
+             round = (match t.engine with Some e -> Mv_consensus.round e | None -> -1);
+             cp;
+             cp_log = t.pdig.(cp);
+             kvh = t.kvh;
+             kv_d = t.kv_cp;
+           });
+    ];
+  refresh_guard t;
+  !outs
+
+(* --- the storm scrambler --- *)
+
+let corrupt rng t =
+  let cap = Array.length t.log in
+  let actions = 1 + Rng.int rng 3 in
+  for _ = 1 to actions do
+    match Rng.int rng 6 with
+    | 0 -> t.committed <- Rng.int rng (cap + 1)
+    | 1 -> t.pdig.(Rng.int rng (min (Array.length t.pdig) (t.committed + 1))) <- Rng.int rng max_int
+    | 2 -> Kv.corrupt rng ~keys:65536 t.kv
+    | 3 -> t.applied <- Rng.int rng (max 1 (t.committed + 1))
+    | 4 -> t.engine <- Option.map (Mv_consensus.corrupt rng ~round_bound:64) t.engine
+    | _ -> if t.committed > 0 then t.log.(Rng.int rng t.committed) <- [||]
+  done;
+  (* The guard is deliberately left stale: a transient fault does not
+     maintain the redundancy that detects it. *)
+  t

@@ -1,0 +1,142 @@
+open Ftss_util
+
+(* The open-workload generator driving experiment E14: millions of client
+   sessions issuing get/put/cas/delete operations against Zipfian keys,
+   with periodic burst arrivals. Everything is precomputed from the seed
+   before the simulation starts — arrival times ascend by construction,
+   op ids are arrival-ordered indices — so a run is replayable and the
+   generator costs nothing on the simulation's hot path. *)
+
+type spec = {
+  ops : int;  (* total operations over the run *)
+  sessions : int;  (* distinct client sessions *)
+  keys : int;  (* key-space size *)
+  theta : float;  (* Zipf skew; 0.0 = uniform *)
+  window : int;  (* arrivals span ticks [1, window] *)
+  burst_every : int;  (* burst period in ticks; 0 = no bursts *)
+  burst_len : int;  (* ticks per burst *)
+  burst_mult : float;  (* arrival-rate multiplier during a burst *)
+  seed : int;
+}
+
+let default_spec =
+  {
+    ops = 100_000;
+    sessions = 1_000_000;
+    keys = 65_536;
+    theta = 0.9;
+    window = 20_000;
+    burst_every = 2_000;
+    burst_len = 200;
+    burst_mult = 4.0;
+    seed = 1;
+  }
+
+type t = {
+  spec : spec;
+  n : int;
+  ops : Kv.op array;  (* index = op id, ascending arrival time *)
+  arrivals : int array;
+  origins : int array;  (* replica each op's session is attached to *)
+  by_origin : int array array;  (* per replica: op ids, ascending arrival *)
+}
+
+let spec t = t.spec
+let total t = Array.length t.ops
+let op t i = t.ops.(i)
+let arrival t i = t.arrivals.(i)
+let origin t i = t.origins.(i)
+let per_replica t p = t.by_origin.(p)
+let session_of t i = i mod t.spec.sessions
+
+(* Zipfian sampling via the precomputed CDF and binary search. *)
+let zipf_cdf ~keys ~theta =
+  let cdf = Array.make keys 0.0 in
+  let acc = ref 0.0 in
+  for k = 0 to keys - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (k + 1)) theta);
+    cdf.(k) <- !acc
+  done;
+  cdf
+
+let sample_key rng cdf =
+  let total = cdf.(Array.length cdf - 1) in
+  let r = Rng.float rng total in
+  let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cdf.(mid) <= r then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Arrival schedule: each tick carries weight 1.0, or [burst_mult] inside
+   a burst; op [i] arrives at the tick where the cumulative weight first
+   reaches fraction [i/ops] of the total. *)
+let arrival_times (spec : spec) =
+  let weight t =
+    if
+      spec.burst_every > 0
+      && (t - 1) mod spec.burst_every < spec.burst_len
+    then spec.burst_mult
+    else 1.0
+  in
+  let total_w = ref 0.0 in
+  for t = 1 to spec.window do
+    total_w := !total_w +. weight t
+  done;
+  let arrivals = Array.make spec.ops spec.window in
+  let assigned = ref 0 and cum = ref 0.0 in
+  for t = 1 to spec.window do
+    cum := !cum +. weight t;
+    let upto =
+      min spec.ops (int_of_float (Float.round (float_of_int spec.ops *. !cum /. !total_w)))
+    in
+    for i = !assigned to upto - 1 do
+      arrivals.(i) <- t
+    done;
+    assigned := max !assigned upto
+  done;
+  arrivals
+
+let create ~n (spec : spec) =
+  if n < 1 then invalid_arg "Workload.create: n < 1";
+  if spec.ops < 0 then invalid_arg "Workload.create: ops < 0";
+  if spec.sessions < 1 then invalid_arg "Workload.create: sessions < 1";
+  if spec.keys < 1 then invalid_arg "Workload.create: keys < 1";
+  if spec.window < 1 then invalid_arg "Workload.create: window < 1";
+  let rng = Rng.create spec.seed in
+  let cdf = zipf_cdf ~keys:spec.keys ~theta:spec.theta in
+  let arrivals = arrival_times spec in
+  let ops =
+    Array.init spec.ops (fun id ->
+        let key = sample_key rng cdf in
+        let roll = Rng.float rng 1.0 in
+        if roll < 0.50 then
+          { Kv.id; kind = Kv.Put; key; v1 = Rng.int rng 1_000_000; v2 = 0 }
+        else if roll < 0.75 then { Kv.id; kind = Kv.Get; key; v1 = 0; v2 = 0 }
+        else if roll < 0.90 then
+          (* A small expected value makes some compare-and-swaps succeed. *)
+          { Kv.id; kind = Kv.Cas; key; v1 = Rng.int rng 16; v2 = Rng.int rng 1_000_000 }
+        else { Kv.id; kind = Kv.Delete; key; v1 = 0; v2 = 0 })
+  in
+  let origins = Array.init spec.ops (fun id -> id mod spec.sessions mod n) in
+  let counts = Array.make n 0 in
+  Array.iter (fun p -> counts.(p) <- counts.(p) + 1) origins;
+  let by_origin = Array.map (fun c -> Array.make c 0) counts in
+  let cursors = Array.make n 0 in
+  Array.iteri
+    (fun id p ->
+      by_origin.(p).(cursors.(p)) <- id;
+      cursors.(p) <- cursors.(p) + 1)
+    origins;
+  { spec; n; ops; arrivals; origins; by_origin }
+
+(* Deterministic digest over the full generated trace — the golden
+   determinism test pins this for a fixed seed. *)
+let digest t =
+  let h = ref (Kv.mix t.n t.spec.seed) in
+  Array.iteri
+    (fun i o ->
+      h := Kv.chain !h (Kv.mix (Kv.op_digest o) (Kv.mix t.arrivals.(i) t.origins.(i))))
+    t.ops;
+  !h

@@ -75,6 +75,10 @@ let all_events =
     Event.make ~time:0
       (Event.Case_verdict { case = 7; ok = true; dedup = false; states = 12 });
     Event.make ~time:0 (Event.Coverage { execs = 100; corpus = 9; points = 42 });
+    Event.make ~time:10 (Event.Submit { pid = 0; ops = 5 });
+    Event.make ~time:11 (Event.Commit { pid = 1; slot = 0; ops = 3 });
+    Event.make ~time:12 (Event.Apply { pid = 1; slot = 0; digest = 99 });
+    Event.make ~time:13 (Event.Recover { pid = 2; slots = 4 });
   ]
 
 (* The same bodies stamped: totality of the JSON codec must cover the
@@ -138,7 +142,10 @@ let test_jsonl_and_load_round_trip () =
    the JSONL encoding changed and every stored trace in the wild silently
    re-reads differently — bump deliberately, never by accident. *)
 let test_golden_jsonl () =
-  let golden = "golden_events.jsonl" in
+  let golden =
+    if Sys.file_exists "golden_events.jsonl" then "golden_events.jsonl"
+    else Filename.concat "test" "golden_events.jsonl"
+  in
   let ic = open_in golden in
   let expected =
     Fun.protect
@@ -326,6 +333,45 @@ let test_obs_emit_windows () =
     (Trace_summary.measured_stabilization t = Some 3)
 
 (* --- Trace_summary analyses --- *)
+
+let test_service_summary () =
+  let t =
+    Trace_summary.of_events
+      [
+        Event.make ~time:1 (Event.Submit { pid = 0; ops = 10 });
+        Event.make ~time:2 (Event.Submit { pid = 1; ops = 4 });
+        Event.make ~time:3 (Event.Commit { pid = 0; slot = 0; ops = 8 });
+        Event.make ~time:3 (Event.Apply { pid = 0; slot = 0; digest = 7 });
+        Event.make ~time:4 (Event.Commit { pid = 0; slot = 1; ops = 6 });
+        Event.make ~time:4 (Event.Apply { pid = 0; slot = 1; digest = 9 });
+        Event.make ~time:9 (Event.Recover { pid = 1; slots = 2 });
+      ]
+  in
+  (match Trace_summary.service_totals t with
+  | Some (submitted, slots, ops, applied, recovered) ->
+    check_int "submitted ops" 14 submitted;
+    check_int "committed slots" 2 slots;
+    check_int "committed ops" 14 ops;
+    check_int "applied slots" 2 applied;
+    check_int "recoveries" 1 recovered
+  | None -> Alcotest.fail "service totals absent");
+  Alcotest.(check (list (triple int int int)))
+    "recovery timeline" [ (9, 1, 2) ]
+    (Trace_summary.recovery_timeline t);
+  (* Non-service traces omit the section entirely. *)
+  check "no service events -> none" true
+    (Trace_summary.service_totals
+       (Trace_summary.of_events [ Event.make ~time:0 Event.Round_begin ])
+    = None);
+  (* And [ftss trace]'s census mentions the service pipeline. *)
+  let report = Format.asprintf "%a" Trace_summary.pp t in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "report shows service totals" true (contains "service:" report);
+  check "report shows recoveries" true (contains "recover" report)
 
 let test_suspicion_timeline_and_blame () =
   let t =
@@ -594,6 +640,7 @@ let suite =
         tc "record_event derivations + json snapshot" `Quick test_metrics_record_event_and_json;
         tc "hub fan-out and suspect_diff" `Quick test_obs_fan_out_and_suspect_diff;
         tc "emit_windows round-trips" `Quick test_obs_emit_windows;
+        tc "service totals and recovery timeline" `Quick test_service_summary;
         tc "suspicion timeline and blame matrix" `Quick test_suspicion_timeline_and_blame;
         tc "runner events mirror the trace" `Quick test_runner_events_match_trace;
         tc "tracing does not change the history" `Quick test_untraced_runner_unchanged;

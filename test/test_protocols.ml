@@ -379,6 +379,27 @@ let test_sigma_plus_detects_disagreement () =
   check "sigma_plus flags the disagreement" false
     (spec.Spec.holds trace ~faulty:Pidset.empty)
 
+let test_repeated_async_drivers_agree () =
+  (* Both drivers consume the same proposal stream; shared and rebuilt
+     heaps must each decide every instance. *)
+  let n = 4 and instances = 3 in
+  let propose p i = 100 + (((p * 13) + (i * 7)) mod 50) in
+  let style = Ftss_async.Consensus.self_stabilizing in
+  let shared =
+    Repeated.run_async_shared ~n ~seed:3 ~style ~propose ~instances
+      ~horizon_per_instance:300 ()
+  in
+  let rebuilt =
+    Repeated.run_async_rebuilt ~n ~seed:3 ~style ~propose ~instances
+      ~horizon_per_instance:300 ()
+  in
+  check_int "shared heap decides every instance" instances
+    shared.Repeated.instances_decided;
+  check_int "rebuilt heaps decide every instance" instances
+    rebuilt.Repeated.instances_decided;
+  check "decisions recorded" true
+    (shared.Repeated.decisions > 0 && rebuilt.Repeated.decisions > 0)
+
 let prop_theorem4_sweep =
   QCheck.Test.make ~name:"Theorem 4 under random corruption and omission" ~count:40
     QCheck.small_nat
@@ -437,6 +458,7 @@ let suite =
         tc "late reveal destabilizes briefly" `Quick test_theorem4_late_reveal_destabilizes_briefly;
         tc "completions mechanics" `Quick test_repeated_completions_mechanics;
         tc "sigma_plus detects disagreement" `Quick test_sigma_plus_detects_disagreement;
+        tc "async shared vs rebuilt heaps" `Quick test_repeated_async_drivers_agree;
         QCheck_alcotest.to_alcotest prop_theorem4_sweep;
       ] );
   ]
