@@ -7,10 +7,25 @@
    Usage:
      dune exec bench/main.exe            # everything
      dune exec bench/main.exe -- E1 E5   # a subset
-     dune exec bench/main.exe -- M1      # microbenchmarks only *)
+     dune exec bench/main.exe -- M1      # microbenchmarks only
+
+   [--meta-rev REV] and [--meta-date DATE] stamp the envelopes with the
+   producing revision and date (CI passes them), so committed baselines
+   are self-describing. *)
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let rec parse_args acc rev date = function
+    | [] -> (List.rev acc, rev, date)
+    | "--meta-rev" :: v :: rest -> parse_args acc (Some v) date rest
+    | "--meta-date" :: v :: rest -> parse_args acc rev (Some v) rest
+    | ("--meta-rev" | "--meta-date") :: [] ->
+      prerr_endline "bench: --meta-rev/--meta-date need a value";
+      exit 2
+    | x :: rest -> parse_args (x :: acc) rev date rest
+  in
+  let requested, meta_rev, meta_date =
+    parse_args [] None None (List.tl (Array.to_list Sys.argv))
+  in
   let valid = List.map fst Experiments.all @ [ "M1" ] in
   let unknown = List.filter (fun r -> not (List.mem r valid)) requested in
   if unknown <> [] then begin
@@ -21,6 +36,16 @@ let () =
     exit 2
   end;
   let wanted name = requested = [] || List.mem name requested in
+  (* Run metadata: where and how a baseline was produced. The bench-diff
+     loader ignores unknown envelope fields, so older readers still load
+     stamped files. *)
+  let meta =
+    let opt k v = match v with None -> [] | Some v -> [ (k, Ftss_obs.Json.String v) ] in
+    Ftss_obs.Json.Obj
+      (opt "git_rev" meta_rev
+      @ opt "date" meta_date
+      @ [ ("domains", Ftss_obs.Json.Int (Ftss_check.Explore.available ())) ])
+  in
   let with_metrics name experiment =
     let m = Ftss_obs.Metrics.create () in
     let t0 = Unix.gettimeofday () in
@@ -38,6 +63,7 @@ let () =
         Ftss_obs.Json.Obj
           (("experiment", Ftss_obs.Json.String name)
           :: ("schema", Ftss_obs.Json.Int 2)
+          :: ("meta", meta)
           :: fields)
       | other -> other
     in

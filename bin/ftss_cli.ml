@@ -11,6 +11,8 @@
      replay            re-execute a shrunk counterexample file
      explain           causal provenance of an outcome event in a trace
      serve             run the replicated service tower under a workload
+                       (--slo arms streaming monitors; alarms fail the run)
+     watch             serve with a live monitor-plane dashboard
      bench-diff        compare two BENCH_*.json gauge snapshots
 
    Every subcommand exits non-zero when its theorem check fails, so the
@@ -914,78 +916,246 @@ let explain_cmd =
           (destabilizing) events the run contains.")
     Term.(const run $ trace_arg $ event_arg $ dot_arg)
 
-(* --- serve: the replicated service tower end to end --- *)
+(* --- serve / watch: the replicated service tower end to end --- *)
+
+module Monitor = Ftss_monitor.Monitor
+module Recorder = Ftss_monitor.Recorder
+
+(* Shared driver for [serve] and [watch]: builds the workload and fault
+   mix, arms the hub + monitor plane exactly as requested (nothing at
+   all when no observability flag is given), runs the tower, finalizes
+   the monitors at the simulated horizon, and renders. Exit code is
+   non-zero when the service gate fails or any SLO alarm fired. *)
+let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
+    ~storm_victims ~omit ~trace_out ~metrics_out ~slo ~prom_out ~prom_every
+    ~flight_out ~watch =
+  let open Ftss_service in
+  match
+    match slo with
+    | None -> Ok Monitor.no_budgets
+    | Some s -> Monitor.budgets_of_string s
+  with
+  | Error msg ->
+    Format.eprintf "ftss: bad --slo spec: %s@." msg;
+    2
+  | Ok budgets ->
+    let spec =
+      { Workload.default_spec with Workload.ops; sessions; keys; window; seed }
+    in
+    let wl = Workload.create ~n spec in
+    let params =
+      {
+        (Service.default_params ~n ~seed:(seed + 1)) with
+        Service.style = (if baseline then Tob.baseline else Tob.self_stabilizing);
+        faults =
+          {
+            Service.no_faults with
+            Service.storms =
+              (match storm_at with Some t -> [ (t, storm_victims) ] | None -> []);
+            omission = (match omit with Some w -> [ w ] | None -> []);
+          };
+      }
+    in
+    let need_monitor =
+      slo <> None || prom_out <> None || flight_out <> None || watch <> None
+    in
+    if (not need_monitor) && trace_out = None && metrics_out = None then begin
+      let r = Service.run ~wl params in
+      Format.printf "%a@." Service.pp_report r;
+      if r.Service.unique_ops > 0 && r.Service.converged then 0 else 1
+    end
+    else begin
+      (* The monitor plane keeps its own state: fold events into the
+         metrics registry only when a snapshot was asked for, stamp only
+         when a trace is written — the armed hot path stays lean. *)
+      let record = metrics_out <> None in
+      let stamp = if trace_out <> None then Some n else None in
+      (* single-domain driver: skip the per-event hub lock *)
+      let obs = Ftss_obs.Obs.create ?stamp ~record ~threadsafe:false () in
+      (match trace_out with
+      | Some path -> Ftss_obs.Obs.add_sink obs (Ftss_obs.Sink.jsonl_file path)
+      | None -> ());
+      let monitor = if need_monitor then Some (Monitor.create ~n budgets) else None in
+      let snap = ref None in
+      let write_prom m =
+        match prom_out with Some p -> Monitor.write_openmetrics m p | None -> ()
+      in
+      let render_frame m =
+        match watch with
+        | Some (_, Some path) ->
+          let oc = open_out path in
+          output_string oc (Monitor.dashboard_string m);
+          close_out oc
+        | Some (_, None) -> print_string (Monitor.dashboard_string m)
+        | None -> ()
+      in
+      (match monitor with
+      | Some m ->
+        Monitor.set_on_alarm m (fun m a ->
+            Format.eprintf "ALARM %a@." Monitor.pp_alarm a;
+            match flight_out with
+            | Some prefix when !snap = None ->
+              snap := Some (Recorder.snapshot m a ~prefix)
+            | _ -> ());
+        (match
+           match watch with
+           | Some (every, _) -> Some every
+           | None -> if prom_out <> None then Some prom_every else None
+         with
+        | Some every ->
+          Monitor.set_interval m ~every (fun m ~time:_ ->
+              render_frame m;
+              write_prom m)
+        | None -> ());
+        Monitor.attach m obs
+      | None -> ());
+      let r = Service.run ~obs ~wl params in
+      (match monitor with
+      | Some m ->
+        Monitor.finalize m ~end_time:r.Service.end_time;
+        write_prom m;
+        render_frame m
+      | None -> ());
+      Ftss_obs.Obs.close obs;
+      (match metrics_out with
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Ftss_obs.Json.to_string
+             (Ftss_obs.Metrics.to_json (Ftss_obs.Obs.metrics obs)));
+        output_char oc '\n';
+        close_out oc
+      | None -> ());
+      Format.printf "%a@." Service.pp_report r;
+      let alarm_count =
+        match monitor with Some m -> Monitor.alarm_count m | None -> 0
+      in
+      (match monitor with
+      | Some m when slo <> None || alarm_count > 0 ->
+        Format.printf "@[<v>monitors:@,%a@]@."
+          (Format.pp_print_list (fun ppf (s : Monitor.status) ->
+               Format.fprintf ppf "  %-12s %-9s %s" s.Monitor.name
+                 (if s.Monitor.firing > 0 then
+                    Printf.sprintf "ALARM(%d)" s.Monitor.firing
+                  else if s.Monitor.armed then "ok"
+                  else "off")
+                 s.Monitor.value))
+          (Monitor.statuses m);
+        if alarm_count > 0 then
+          Format.printf "slo: %d alarm%s fired@." alarm_count
+            (if alarm_count = 1 then "" else "s")
+        else Format.printf "slo: all budgets met@."
+      | _ -> ());
+      (match !snap with
+      | Some s -> Format.printf "%a@." Recorder.pp_snapshot s
+      | None -> ());
+      if r.Service.unique_ops > 0 && r.Service.converged && alarm_count = 0 then 0
+      else 1
+    end
+
+let slo_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "slo" ] ~docv:"SPEC"
+        ~doc:
+          "Arm SLO monitors with budgets: comma-separated key=value with keys \
+           $(b,stab) (online stabilization time d, ticks), $(b,heal) \
+           (corruption-to-apply ticks), $(b,p99) (commit-latency ticks), $(b,drop) \
+           (per-link omission EWMA), $(b,churn) (suspicion changes/tick). Example: \
+           $(b,heal=120,stab=400,p99=800). Any fired alarm makes the command exit \
+           non-zero.")
+
+let prom_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom-out" ] ~docv:"FILE"
+        ~doc:
+          "Write an OpenMetrics text exposition of the monitor plane to $(docv), \
+           rewritten on every interval and at the end of the run.")
+
+let prom_every_arg =
+  Arg.(
+    value & opt int 1_000
+    & info [ "prom-every" ] ~docv:"T"
+        ~doc:"Simulated ticks between $(b,--prom-out) rewrites.")
+
+let flight_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flight-out" ] ~docv:"PREFIX"
+        ~doc:
+          "On the first alarm, snapshot the flight recorder: the event ring to \
+           $(docv).jsonl and the causal cone of the triggering event to \
+           $(docv).dot.")
+
+let omit_window_arg =
+  let omit_conv =
+    let parse s =
+      match String.split_on_char ':' s with
+      | [ a; b; p ] -> (
+        match (int_of_string_opt a, int_of_string_opt b, float_of_string_opt p) with
+        | Some a, Some b, Some p when a >= 0 && b > a && p >= 0. && p <= 1. ->
+          Ok (a, b, p)
+        | _ -> Error (`Msg "expected T0:T1:P with T0 < T1 and P in [0,1]"))
+      | _ -> Error (`Msg "expected T0:T1:P")
+    in
+    Arg.conv (parse, fun ppf (a, b, p) -> Format.fprintf ppf "%d:%d:%g" a b p)
+  in
+  Arg.(
+    value
+    & opt (some omit_conv) None
+    & info [ "omit-window" ] ~docv:"T0:T1:P"
+        ~doc:"Drop each message with probability P between times T0 and T1.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 20_000
+    & info [ "ops" ] ~docv:"OPS" ~doc:"Client operations to generate.")
+
+let sessions_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "sessions" ] ~docv:"S" ~doc:"Simulated client sessions.")
+
+let keys_arg =
+  Arg.(
+    value & opt int 65_536
+    & info [ "keys" ] ~docv:"K" ~doc:"Key-space size (Zipfian-distributed).")
+
+let window_arg =
+  Arg.(
+    value & opt int 2_000
+    & info [ "window" ] ~docv:"T"
+        ~doc:"Arrival window in simulated time units; the run drains afterwards.")
+
+let baseline_arg =
+  Arg.(
+    value & flag
+    & info [ "baseline" ]
+        ~doc:"Run the non-stabilizing baseline tower instead of the default \
+              self-stabilizing one.")
+
+let storm_at_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "storm-at" ] ~docv:"T" ~doc:"Inject a corruption storm at time $(docv).")
+
+let storm_victims_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "storm-victims" ] ~docv:"V"
+        ~doc:"Replicas scrambled by the storm (with $(b,--storm-at)).")
 
 let serve_cmd =
-  let open Ftss_service in
-  let run n seed ops sessions keys window baseline storm_at storm_victims
-      trace_out metrics_out =
-    with_obs ~stamp:n trace_out metrics_out (fun obs ->
-        let spec =
-          {
-            Workload.default_spec with
-            Workload.ops;
-            sessions;
-            keys;
-            window;
-            seed;
-          }
-        in
-        let wl = Workload.create ~n spec in
-        let params =
-          {
-            (Service.default_params ~n ~seed:(seed + 1)) with
-            Service.style = (if baseline then Tob.baseline else Tob.self_stabilizing);
-            faults =
-              (match storm_at with
-              | Some t -> { Service.no_faults with Service.storms = [ (t, storm_victims) ] }
-              | None -> Service.no_faults);
-          }
-        in
-        let r = Service.run ?obs ~wl params in
-        Format.printf "%a@." Service.pp_report r;
-        if r.Service.unique_ops > 0 && r.Service.converged then 0 else 1)
-  in
-  let ops_arg =
-    Arg.(
-      value & opt int 20_000
-      & info [ "ops" ] ~docv:"OPS" ~doc:"Client operations to generate.")
-  in
-  let sessions_arg =
-    Arg.(
-      value & opt int 1_000_000
-      & info [ "sessions" ] ~docv:"S" ~doc:"Simulated client sessions.")
-  in
-  let keys_arg =
-    Arg.(
-      value & opt int 65_536
-      & info [ "keys" ] ~docv:"K" ~doc:"Key-space size (Zipfian-distributed).")
-  in
-  let window_arg =
-    Arg.(
-      value & opt int 2_000
-      & info [ "window" ] ~docv:"T"
-          ~doc:"Arrival window in simulated time units; the run drains afterwards.")
-  in
-  let baseline_arg =
-    Arg.(
-      value & flag
-      & info [ "baseline" ]
-          ~doc:"Run the non-stabilizing baseline tower instead of the default \
-                self-stabilizing one.")
-  in
-  let storm_at_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "storm-at" ] ~docv:"T"
-          ~doc:"Inject a corruption storm at time $(docv).")
-  in
-  let storm_victims_arg =
-    Arg.(
-      value & opt int 2
-      & info [ "storm-victims" ] ~docv:"V"
-          ~doc:"Replicas scrambled by the storm (with $(b,--storm-at)).")
+  let run n seed ops sessions keys window baseline storm_at storm_victims omit
+      trace_out metrics_out slo prom_out prom_every flight_out =
+    tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
+      ~storm_victims ~omit ~trace_out ~metrics_out ~slo ~prom_out ~prom_every
+      ~flight_out ~watch:None
   in
   Cmd.v
     (Cmd.info "serve"
@@ -993,12 +1163,48 @@ let serve_cmd =
          "Run the replicated service tower (total-order broadcast over repeated \
           multivalued consensus, applying a key-value log) under a generated \
           client workload, and report commit latency, throughput and \
-          convergence. Exits non-zero unless operations were committed and \
-          every live replica converged.")
+          convergence. Exits non-zero unless operations were committed, every \
+          live replica converged, and no $(b,--slo) alarm fired.")
     Term.(
       const run $ n_arg $ seed_arg $ ops_arg $ sessions_arg $ keys_arg
       $ window_arg $ baseline_arg $ storm_at_arg $ storm_victims_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ omit_window_arg $ trace_out_arg $ metrics_out_arg $ slo_arg $ prom_out_arg
+      $ prom_every_arg $ flight_out_arg)
+
+let watch_cmd =
+  let run n seed ops sessions keys window baseline storm_at storm_victims omit
+      every out slo prom_out prom_every flight_out =
+    tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
+      ~storm_victims ~omit ~trace_out:None ~metrics_out:None ~slo ~prom_out
+      ~prom_every ~flight_out ~watch:(Some (every, out))
+  in
+  let every_arg =
+    Arg.(
+      value & opt int 500
+      & info [ "every" ] ~docv:"T"
+          ~doc:"Simulated ticks between dashboard frames.")
+  in
+  let watch_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Rewrite each dashboard frame to $(docv) instead of printing frames \
+             to stdout (tail it from another terminal).")
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Run the service tower like $(b,serve) while rendering a live dashboard \
+          of the streaming monitor plane every $(b,--every) ticks: throughput, \
+          commit-latency quantiles, omission and suspicion-churn EWMAs, online \
+          stabilization time, heal watchdog and alarm states.")
+    Term.(
+      const run $ n_arg $ seed_arg $ ops_arg $ sessions_arg $ keys_arg
+      $ window_arg $ baseline_arg $ storm_at_arg $ storm_victims_arg
+      $ omit_window_arg $ every_arg $ watch_out_arg $ slo_arg $ prom_out_arg
+      $ prom_every_arg $ flight_out_arg)
 
 (* --- bench-diff: compare two gauge snapshots --- *)
 
@@ -1070,5 +1276,5 @@ let () =
           [
             round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
             impossibility_cmd; check_cmd; fuzz_cmd; replay_cmd; trace_cmd;
-            explain_cmd; serve_cmd; bench_diff_cmd;
+            explain_cmd; serve_cmd; watch_cmd; bench_diff_cmd;
           ]))

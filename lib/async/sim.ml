@@ -84,7 +84,12 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) config process =
      zero-sink path allocates nothing. Crash events are emitted once, the
      first time a process is observed past its crash time. *)
   let traced = Option.is_some obs in
-  let emit ev = match obs with Some o -> Ftss_obs.Obs.emit o ev | None -> () in
+  let emit =
+    (* hoisted: one option match at run start, not one per event *)
+    match obs with
+    | Some o -> fun ev -> Ftss_obs.Obs.emit o ev
+    | None -> fun _ -> ()
+  in
   let crash_emitted = Array.make config.n false in
   let note_dead p =
     if traced && not crash_emitted.(p) then begin

@@ -1,0 +1,19 @@
+(** Flight-recorder snapshots.
+
+    On alarm, {!snapshot} writes the monitor's event ring to
+    [<prefix>.jsonl] (one event per line, the trace format [ftss
+    explain] loads) and the happened-before cone of the
+    alarm-triggering event to [<prefix>.dot] (Graphviz, target
+    highlighted). Indexing happens on demand — the always-on cost is
+    only the preallocated ring push. *)
+
+type snapshot = {
+  jsonl_path : string;
+  dot_path : string;
+  events : int;  (** ring events written *)
+  cone : int;  (** causal-cone size; [0] when the target was evicted *)
+  target_found : bool;
+}
+
+val snapshot : Monitor.t -> Monitor.alarm -> prefix:string -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

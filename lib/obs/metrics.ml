@@ -12,10 +12,80 @@ type histogram = {
   mutable retained : int;
 }
 
+(* Log-bucketed (HDR-style) histogram: geometric buckets at ratio
+   2^(1/8), so every recorded value lands in a bucket within ~9% of its
+   true magnitude. Unlike the reservoir above — which keeps only the
+   first [reservoir_capacity] samples and therefore skews long-run
+   percentiles toward warm-up — bucket counts absorb every sample, so
+   percentile estimates stay unbiased on unbounded streams. Preallocated,
+   O(1) observe, O(buckets) percentile. *)
+
+let lhist_buckets = 256
+let lhist_gamma = 2. ** 0.125
+let lhist_log_gamma = log lhist_gamma
+
+(* Relative half-width of a bucket: a percentile estimate is within this
+   factor of some recorded sample. *)
+let lhist_error = sqrt lhist_gamma -. 1.
+
+type lhist = {
+  mutable l_count : int;
+  mutable l_sum : float;
+  mutable l_min : float;
+  mutable l_max : float;
+  buckets : int array; (* bucket 0: v < 1; bucket k: gamma^(k-1) <= v < gamma^k *)
+}
+
+let lhist_create () =
+  {
+    l_count = 0;
+    l_sum = 0.;
+    l_min = infinity;
+    l_max = neg_infinity;
+    buckets = Array.make lhist_buckets 0;
+  }
+
+let lhist_bucket v =
+  if v < 1. then 0
+  else min (lhist_buckets - 1) (1 + int_of_float (log v /. lhist_log_gamma))
+
+let lobserve h v =
+  h.l_count <- h.l_count + 1;
+  h.l_sum <- h.l_sum +. v;
+  if v < h.l_min then h.l_min <- v;
+  if v > h.l_max then h.l_max <- v;
+  let b = lhist_bucket v in
+  h.buckets.(b) <- h.buckets.(b) + 1
+
+let lhist_count h = h.l_count
+let lhist_sum h = h.l_sum
+let lhist_min h = if h.l_count = 0 then nan else h.l_min
+let lhist_max h = if h.l_count = 0 then nan else h.l_max
+
+(* Geometric midpoint of bucket [b] — the representative value a
+   percentile query reports. *)
+let lhist_value b = if b = 0 then 0. else lhist_gamma ** (float_of_int b -. 0.5)
+
+let lpercentile h p =
+  if p < 0. || p > 100. then invalid_arg "Metrics.lpercentile: p outside [0, 100]";
+  if h.l_count = 0 then nan
+  else begin
+    let rank = max 1 (int_of_float (ceil (p /. 100. *. float_of_int h.l_count))) in
+    let acc = ref 0 and b = ref 0 in
+    while !acc < rank && !b < lhist_buckets do
+      acc := !acc + h.buckets.(!b);
+      incr b
+    done;
+    (* !b - 1 is the bucket holding the rank-th sample; clamp the bucket
+       midpoint by the exact extremes so tails never overshoot. *)
+    max h.l_min (min h.l_max (lhist_value (!b - 1)))
+  end
+
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   histograms : (string, histogram) Hashtbl.t;
+  lhists : (string, lhist) Hashtbl.t;
 }
 
 let create () =
@@ -23,12 +93,14 @@ let create () =
     counters = Hashtbl.create 32;
     gauges = Hashtbl.create 8;
     histograms = Hashtbl.create 8;
+    lhists = Hashtbl.create 8;
   }
 
 let is_empty t =
   Hashtbl.length t.counters = 0
   && Hashtbl.length t.gauges = 0
   && Hashtbl.length t.histograms = 0
+  && Hashtbl.length t.lhists = 0
 
 let get_or_create table name fresh =
   match Hashtbl.find_opt table name with
@@ -46,6 +118,8 @@ let counter_value c = c.count
 let gauge t name = get_or_create t.gauges name (fun () -> { value = 0. })
 let set g v = g.value <- v
 let gauge_value g = g.value
+
+let lhist t name = get_or_create t.lhists name lhist_create
 
 let histogram t name =
   get_or_create t.histograms name (fun () ->
@@ -151,7 +225,32 @@ let histogram_json h =
         ("p99", Json.Float (percentile h 99.));
       ]
 
+(* Log-bucket histograms export the same field set as reservoir ones (so
+   bench-diff and any snapshot consumer read both alike), plus a "kind"
+   tag and the unbiased tail quantile the reservoir cannot provide. *)
+let lhist_json h =
+  if h.l_count = 0 then Json.Obj [ ("count", Json.Int 0); ("kind", Json.String "logbucket") ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int h.l_count);
+        ("sum", Json.Float h.l_sum);
+        ("min", Json.Float h.l_min);
+        ("max", Json.Float h.l_max);
+        ("mean", Json.Float (h.l_sum /. float_of_int h.l_count));
+        ("p50", Json.Float (lpercentile h 50.));
+        ("p95", Json.Float (lpercentile h 95.));
+        ("p99", Json.Float (lpercentile h 99.));
+        ("p999", Json.Float (lpercentile h 99.9));
+        ("kind", Json.String "logbucket");
+      ]
+
 let to_json t =
+  let histograms =
+    List.map (fun (k, h) -> (k, histogram_json h)) (sorted_bindings t.histograms)
+    @ List.map (fun (k, h) -> (k, lhist_json h)) (sorted_bindings t.lhists)
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
   Json.Obj
     [
       ( "counters",
@@ -160,10 +259,7 @@ let to_json t =
       ( "gauges",
         Json.Obj
           (List.map (fun (k, g) -> (k, Json.Float g.value)) (sorted_bindings t.gauges)) );
-      ( "histograms",
-        Json.Obj
-          (List.map (fun (k, h) -> (k, histogram_json h)) (sorted_bindings t.histograms))
-      );
+      ("histograms", Json.Obj histograms);
     ]
 
 let pp_summary ppf t =
@@ -190,4 +286,14 @@ let pp_summary ppf t =
           (h.h_sum /. float_of_int h.h_count)
           h.h_min h.h_max (percentile h 95.))
     (sorted_bindings t.histograms);
+  List.iter
+    (fun (k, h) ->
+      cut ();
+      if h.l_count = 0 then Format.fprintf ppf "%-32s (empty)" k
+      else
+        Format.fprintf ppf "%-32s count=%d mean=%.2f min=%.0f max=%.0f p99=%.0f" k
+          h.l_count
+          (h.l_sum /. float_of_int h.l_count)
+          h.l_min h.l_max (lpercentile h 99.))
+    (sorted_bindings t.lhists);
   Format.fprintf ppf "@]"

@@ -51,6 +51,40 @@ val percentile : histogram -> float -> float
 
 val reservoir_capacity : int
 
+(** Log-bucketed (HDR-style) histogram: geometric buckets at ratio
+    2{^1/8}, preallocated, O(1) observe, O(buckets) percentile. Every
+    sample lands in a bucket, so — unlike the first-N reservoir above —
+    percentiles stay unbiased on unbounded streams; the price is a
+    bounded relative error per estimate ({!lhist_error}, ~4.4%).
+    Count/sum/min/max stay exact. *)
+type lhist
+
+(** Registry-attached get-or-create; exported under "histograms" in
+    {!to_json} with the same field set as reservoir histograms (plus a
+    ["kind"] tag and ["p999"]). *)
+val lhist : t -> string -> lhist
+
+(** A standalone instance, for single-owner instruments (streaming
+    monitors) that export through their own path. *)
+val lhist_create : unit -> lhist
+
+val lobserve : lhist -> float -> unit
+val lhist_count : lhist -> int
+val lhist_sum : lhist -> float
+
+(** Exact extremes; [nan] when empty. *)
+val lhist_min : lhist -> float
+
+val lhist_max : lhist -> float
+
+(** [lpercentile h p] with [p] in [0,100]: the geometric midpoint of the
+    bucket holding the nearest-rank sample, clamped to the exact
+    min/max; [nan] when empty. *)
+val lpercentile : lhist -> float -> float
+
+(** Bound on the relative error of {!lpercentile} (half a bucket). *)
+val lhist_error : float
+
 (** Fold the standard derivations of one event into the registry. *)
 val record_event : t -> Event.t -> unit
 

@@ -2,15 +2,21 @@ open Ftss_util
 
 type t = {
   mutable sinks : Sink.t list;
+  mutable subscribers : (Event.t -> unit) array;
   registry : Metrics.t;
+  record : bool;
+  threadsafe : bool;
   mutex : Mutex.t;
   stamper : Stamper.t option;
 }
 
-let create ?(sinks = []) ?metrics ?stamp () =
+let create ?(sinks = []) ?metrics ?stamp ?(record = true) ?(threadsafe = true) () =
   {
     sinks;
+    subscribers = [||];
     registry = (match metrics with Some m -> m | None -> Metrics.create ());
+    record;
+    threadsafe;
     mutex = Mutex.create ();
     stamper = Option.map (fun n -> Stamper.create ~n) stamp;
   }
@@ -20,14 +26,39 @@ let add_sink t sink =
   t.sinks <- t.sinks @ [ sink ];
   Mutex.unlock t.mutex
 
-let emit t ev =
+let add_subscriber t f =
   Mutex.lock t.mutex;
-  Fun.protect
-    ~finally:(fun () -> Mutex.unlock t.mutex)
-    (fun () ->
-      let ev = match t.stamper with None -> ev | Some st -> Stamper.stamp st ev in
-      Metrics.record_event t.registry ev;
-      List.iter (fun (s : Sink.t) -> s.Sink.emit ev) t.sinks)
+  t.subscribers <- Array.append t.subscribers [| f |];
+  Mutex.unlock t.mutex
+
+(* The per-event hot path: no closure allocation (manual unlock instead
+   of [Fun.protect]) — with [record = false], no sinks and one
+   subscriber, an emit is the lock, one match dispatch, and the
+   subscriber's O(1) updates. A [~threadsafe:false] hub skips the lock
+   entirely: its pair of C stub calls is the single largest fixed cost
+   per event, and single-domain drivers (the simulator, the service
+   tower) pay it for nothing. *)
+let dispatch t ev =
+  let ev = match t.stamper with None -> ev | Some st -> Stamper.stamp st ev in
+  if t.record then Metrics.record_event t.registry ev;
+  (match t.sinks with
+  | [] -> ()
+  | sinks -> List.iter (fun (s : Sink.t) -> s.Sink.emit ev) sinks);
+  let subs = t.subscribers in
+  for i = 0 to Array.length subs - 1 do
+    subs.(i) ev
+  done
+
+let emit t ev =
+  if not t.threadsafe then dispatch t ev
+  else begin
+    Mutex.lock t.mutex;
+    (try dispatch t ev
+     with e ->
+       Mutex.unlock t.mutex;
+       raise e);
+    Mutex.unlock t.mutex
+  end
 
 let metrics t = t.registry
 

@@ -153,6 +153,22 @@ let event t i = t.evs.(i)
 let parents t i = t.parents.(i)
 let located t i = t.loc.(i)
 
+(* Locate a captured event in the indexed trace: physical equality first
+   (the common case — an alarm handed back an event it pulled off a live
+   ring that was then indexed wholesale), falling back to the last
+   structurally equal event. Only called on demand (a flight-recorder
+   snapshot), so the scan is fine. *)
+let find_event t ev =
+  let len = Array.length t.evs in
+  let rec phys i = if i < 0 then None else if t.evs.(i) == ev then Some i else phys (i - 1) in
+  match phys (len - 1) with
+  | Some _ as r -> r
+  | None ->
+    let rec structural i =
+      if i < 0 then None else if t.evs.(i) = ev then Some i else structural (i - 1)
+    in
+    structural (len - 1)
+
 let eid t i =
   match t.evs.(i).Event.stamp with Some s -> Some s.Stamp.eid | None -> None
 

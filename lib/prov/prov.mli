@@ -45,6 +45,13 @@ val event : t -> int -> Event.t
 (** Immediate causal parents (event ids) of event [i]. *)
 val parents : t -> int -> int list
 
+(** Stream index of [ev] in the indexed trace — physical equality first
+    (an event captured from a live ring and indexed with it), then the
+    last structurally equal event; [None] if the trace no longer holds
+    it (e.g. the ring evicted it). The cone-on-demand entry point for
+    the flight recorder. *)
+val find_event : t -> Event.t -> int option
+
 (** The process whose lane event [i] belongs to; [None] for drops and
     global events. *)
 val located : t -> int -> Pid.t option

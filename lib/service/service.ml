@@ -179,21 +179,20 @@ let drop_fn ~seed windows =
 
 (* --- measurement --- *)
 
-let pct sorted q =
-  let len = Array.length sorted in
-  let idx = min (len - 1) (max 0 (int_of_float (ceil (q *. float_of_int len)) - 1)) in
-  float_of_int sorted.(idx)
-
-let percentiles_of sorted =
-  if Array.length sorted = 0 then None
+(* Log-bucketed streaming quantiles (constant memory, ~6% relative
+   error) instead of sorting the full sample array: unbounded runs cost
+   the same as short ones, and the estimate is unbiased across the whole
+   run rather than privileging whichever prefix fit a reservoir. *)
+let percentiles_of h =
+  if Ftss_obs.Metrics.lhist_count h = 0 then None
   else
     Some
       {
-        p50 = pct sorted 0.50;
-        p90 = pct sorted 0.90;
-        p99 = pct sorted 0.99;
-        p999 = pct sorted 0.999;
-        max = float_of_int sorted.(Array.length sorted - 1);
+        p50 = Ftss_obs.Metrics.lpercentile h 50.;
+        p90 = Ftss_obs.Metrics.lpercentile h 90.;
+        p99 = Ftss_obs.Metrics.lpercentile h 99.;
+        p999 = Ftss_obs.Metrics.lpercentile h 99.9;
+        max = Ftss_obs.Metrics.lhist_max h;
       }
 
 let run ?obs ~wl (params : params) =
@@ -315,7 +314,7 @@ let run ?obs ~wl (params : params) =
   done;
   (* End-to-end latency: arrival -> first application at the origin
      replica (any live replica when the origin crashed or lags). *)
-  let lat = Array.make (max 1 !unique_ops) 0 in
+  let lat = Ftss_obs.Metrics.lhist_create () in
   let measured = ref 0 in
   for id = 0 to total - 1 do
     let s = slot_of.(id) in
@@ -327,13 +326,11 @@ let run ?obs ~wl (params : params) =
           List.fold_left (fun acc p -> min acc first_apply.(p).(s)) max_int live_pids
       in
       if t_apply < max_int then begin
-        lat.(!measured) <- max 0 (t_apply - Workload.arrival wl id);
+        Ftss_obs.Metrics.lobserve lat (float_of_int (max 0 (t_apply - Workload.arrival wl id)));
         incr measured
       end
     end
   done;
-  let lat = Array.sub lat 0 !measured in
-  Array.sort compare lat;
   (* Recovery after each storm: when does every live replica apply again,
      and when does the last repair episode in the storm's window end? *)
   let storm_times =

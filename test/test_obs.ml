@@ -275,6 +275,70 @@ let test_metrics_histogram_percentiles () =
     (Invalid_argument "Metrics.percentile: p outside [0, 100]") (fun () ->
       ignore (Metrics.percentile h 101.0))
 
+let test_lhist_percentiles_bounded_error () =
+  let h = Metrics.lhist_create () in
+  for i = 1 to 10_000 do
+    Metrics.lobserve h (float_of_int i)
+  done;
+  check_int "count exact" 10_000 (Metrics.lhist_count h);
+  check "sum exact" true (Metrics.lhist_sum h = 50_005_000.0);
+  check "min exact" true (Metrics.lhist_min h = 1.0);
+  check "max exact" true (Metrics.lhist_max h = 10_000.0);
+  (* Every estimate within the documented relative-error bound of the
+     exact nearest-rank answer — on a stream far past any reservoir. *)
+  List.iter
+    (fun p ->
+      let exact = float_of_int 10_000 *. p /. 100.0 in
+      let est = Metrics.lpercentile h p in
+      let rel = Float.abs (est -. exact) /. exact in
+      if rel > Metrics.lhist_error then
+        Alcotest.failf "p%g: estimate %g vs exact %g (rel err %.3f > %.3f)" p
+          est exact rel Metrics.lhist_error)
+    [ 50.0; 90.0; 99.0; 99.9 ];
+  check "p100 clamps to exact max" true (Metrics.lpercentile h 100.0 = 10_000.0);
+  check "empty lhist is nan" true
+    (Float.is_nan (Metrics.lpercentile (Metrics.lhist_create ()) 50.0));
+  Alcotest.check_raises "percentile range checked"
+    (Invalid_argument "Metrics.lpercentile: p outside [0, 100]") (fun () ->
+      ignore (Metrics.lpercentile h 101.0))
+
+let test_lhist_no_reservoir_bias () =
+  (* The first-N reservoir goes blind after [reservoir_capacity] samples;
+     the log-bucket histogram keeps tracking. Feed small values first,
+     then a late shift to large ones: the reservoir still reports the
+     early distribution, the lhist sees the shift. *)
+  let m = Metrics.create () in
+  let r = Metrics.histogram m "r" in
+  let l = Metrics.lhist m "l" in
+  for _ = 1 to Metrics.reservoir_capacity do
+    Metrics.observe r 1.0;
+    Metrics.lobserve l 1.0
+  done;
+  for _ = 1 to 9 * Metrics.reservoir_capacity do
+    Metrics.observe r 1000.0;
+    Metrics.lobserve l 1000.0
+  done;
+  check "reservoir stuck on the early phase" true
+    (Metrics.percentile r 99.0 = 1.0);
+  check "lhist tracks the shift" true (Metrics.lpercentile l 99.0 > 900.0);
+  (* Registry export: same field set as reservoir histograms plus the
+     kind tag, so bench-diff and snapshot consumers read both alike. *)
+  let doc = Metrics.to_json m in
+  let field h name = Option.bind (Json.member name h) Json.to_float_opt in
+  let lh =
+    match Option.bind (Json.member "histograms" doc) (Json.member "l") with
+    | Some h -> h
+    | None -> Alcotest.fail "lhist missing from histograms export"
+  in
+  check "kind tagged" true
+    (Option.bind (Json.member "kind" lh) Json.to_string_opt = Some "logbucket");
+  check "count exported" true
+    (Option.bind (Json.member "count" lh) Json.to_int_opt
+    = Some (10 * Metrics.reservoir_capacity));
+  List.iter
+    (fun name -> check (name ^ " exported") true (field lh name <> None))
+    [ "sum"; "min"; "max"; "mean"; "p50"; "p95"; "p99"; "p999" ]
+
 let test_metrics_record_event_and_json () =
   let m = Metrics.create () in
   List.iter (Metrics.record_event m) all_events;
@@ -637,6 +701,10 @@ let suite =
         tc "console sink filters by kind" `Quick test_console_filter;
         tc "counters and gauges" `Quick test_metrics_counters_and_gauges;
         tc "histogram percentiles" `Quick test_metrics_histogram_percentiles;
+        tc "log-bucket percentiles within error bound" `Quick
+          test_lhist_percentiles_bounded_error;
+        tc "log-bucket histogram outlives the reservoir" `Quick
+          test_lhist_no_reservoir_bias;
         tc "record_event derivations + json snapshot" `Quick test_metrics_record_event_and_json;
         tc "hub fan-out and suspect_diff" `Quick test_obs_fan_out_and_suspect_diff;
         tc "emit_windows round-trips" `Quick test_obs_emit_windows;
