@@ -10,8 +10,24 @@
      dune exec bench/main.exe -- M1      # microbenchmarks only
 
    [--meta-rev REV] and [--meta-date DATE] stamp the envelopes with the
-   producing revision and date (CI passes them), so committed baselines
-   are self-describing. *)
+   producing revision and date, so committed baselines are
+   self-describing. When a flag is omitted the harness asks git for the
+   checked-out revision and commit date, so locally regenerated baselines
+   are stamped too, not only CI's. *)
+
+(* First line of [cmd]'s stdout, or [None] when the command fails (not a
+   git checkout, no git in PATH) — the stamp is best-effort metadata. *)
+let command_line cmd =
+  try
+    let ic = Unix.open_process_in cmd in
+    let line = try Some (String.trim (input_line ic)) with End_of_file -> None in
+    match (Unix.close_process_in ic, line) with
+    | Unix.WEXITED 0, Some l when l <> "" -> Some l
+    | _ -> None
+  with Unix.Unix_error _ | Sys_error _ -> None
+
+let git_rev () = command_line "git rev-parse --short HEAD 2>/dev/null"
+let git_date () = command_line "git log -1 --format=%cs 2>/dev/null"
 
 let () =
   let rec parse_args acc rev date = function
@@ -26,6 +42,8 @@ let () =
   let requested, meta_rev, meta_date =
     parse_args [] None None (List.tl (Array.to_list Sys.argv))
   in
+  let meta_rev = match meta_rev with Some _ as r -> r | None -> git_rev () in
+  let meta_date = match meta_date with Some _ as d -> d | None -> git_date () in
   let valid = List.map fst Experiments.all @ [ "M1" ] in
   let unknown = List.filter (fun r -> not (List.mem r valid)) requested in
   if unknown <> [] then begin

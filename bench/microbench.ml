@@ -88,6 +88,48 @@ let repeated_rebuilt_heap ~n ~instances =
               ~style:Ftss_async.Consensus.self_stabilizing
               ~propose:repeated_propose ~instances ~horizon_per_instance:150 ())))
 
+(* The rebuilt driver again, but clearing and reusing one queue arena
+   across instances: the gap to the rebuilt row is the queue's share of
+   the rebuild price. *)
+let repeated_pooled_queue ~n ~instances =
+  Test.make
+    ~name:(Printf.sprintf "repeated pooled-queue x%d (n=%d)" instances n)
+    (Staged.stage (fun () ->
+         ignore
+           (Repeated.run_async_pooled ~n ~seed:3
+              ~style:Ftss_async.Consensus.self_stabilizing
+              ~propose:repeated_propose ~instances ~horizon_per_instance:150 ())))
+
+(* The queue hot path in isolation: one pop-one/push-one cycle at a
+   standing population of 4096, calendar vs. the seed binary heap. *)
+let queue_cycle_calendar =
+  let open Ftss_async in
+  let rng = Rng.create 11 in
+  let q = Event_queue.create ~initial_capacity:4096 () in
+  for _ = 1 to 4096 do
+    Event_queue.push_tagged q ~time:(1 + Rng.int rng 120) ~tag:0 ()
+  done;
+  Test.make ~name:"event-queue cycle calendar (pop 4096)"
+    (Staged.stage (fun () ->
+         ignore (Event_queue.pop_step q);
+         Event_queue.push_tagged q
+           ~time:(Event_queue.out_time q + 1 + Rng.int rng 120)
+           ~tag:0 ()))
+
+let queue_cycle_heap =
+  let open Ftss_async in
+  let rng = Rng.create 11 in
+  let q = Event_queue.Reference.create () in
+  for _ = 1 to 4096 do
+    Event_queue.Reference.push q ~time:(1 + Rng.int rng 120) ()
+  done;
+  Test.make ~name:"event-queue cycle heap (pop 4096)"
+    (Staged.stage (fun () ->
+         match Event_queue.Reference.pop q with
+         | Some (t, ()) ->
+           Event_queue.Reference.push q ~time:(t + 1 + Rng.int rng 120) ()
+         | None -> assert false))
+
 (* [Explore.run ~domains:d] spawns d-1 worker domains inside every call,
    so a multi-domain row measures spawn+join cost plus the workload — on a
    ~3 ms workload the spawns dominate and the row must not be read as the
@@ -135,6 +177,9 @@ let tests =
       async_consensus_run ~n:5;
       repeated_shared_heap ~n:4 ~instances:8;
       repeated_rebuilt_heap ~n:4 ~instances:8;
+      repeated_pooled_queue ~n:4 ~instances:8;
+      queue_cycle_calendar;
+      queue_cycle_heap;
       explorer_throughput ~domains:1;
       explorer_throughput ~domains:(max 2 (Ftss_check.Explore.available ()));
       domain_spawn_join ~spawns:(max 2 (Ftss_check.Explore.available ()) - 1);

@@ -928,7 +928,7 @@ module Recorder = Ftss_monitor.Recorder
    non-zero when the service gate fails or any SLO alarm fired. *)
 let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
     ~storm_victims ~omit ~trace_out ~metrics_out ~slo ~prom_out ~prom_every
-    ~flight_out ~watch =
+    ~flight_out ~watch ~shards ~domains =
   let open Ftss_service in
   match
     match slo with
@@ -939,10 +939,11 @@ let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
     Format.eprintf "ftss: bad --slo spec: %s@." msg;
     2
   | Ok budgets ->
+    (* One shard per domain when only --domains was given. *)
+    let shards = match shards with Some s -> s | None -> max 1 domains in
     let spec =
       { Workload.default_spec with Workload.ops; sessions; keys; window; seed }
     in
-    let wl = Workload.create ~n spec in
     let params =
       {
         (Service.default_params ~n ~seed:(seed + 1)) with
@@ -959,6 +960,41 @@ let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
     let need_monitor =
       slo <> None || prom_out <> None || flight_out <> None || watch <> None
     in
+    if shards > 1 || domains > 1 then begin
+      (* Sharded towers run without the per-event monitor plane (shard
+         simulations emit no event streams); summary gauges still land in
+         --metrics-out. *)
+      if need_monitor || trace_out <> None then begin
+        Format.eprintf
+          "ftss: --shards/--domains cannot be combined with --slo, --prom-out, \
+           --flight-out, --trace-out or watch@.";
+        2
+      end
+      else begin
+        let obs =
+          match metrics_out with
+          | Some _ -> Some (Ftss_obs.Obs.create ~record:true ~threadsafe:false ())
+          | None -> None
+        in
+        let r = Service.run_sharded ?obs ~domains ~shards ~spec params in
+        (match (metrics_out, obs) with
+        | Some path, Some obs ->
+          let oc = open_out path in
+          output_string oc
+            (Ftss_obs.Json.to_string
+               (Ftss_obs.Metrics.to_json (Ftss_obs.Obs.metrics obs)));
+          output_char oc '\n';
+          close_out oc;
+          Ftss_obs.Obs.close obs
+        | _ -> ());
+        Format.printf "%a@." Service.pp_report r;
+        Format.printf "shards=%d domains=%d digest=%d@." shards domains
+          (Service.report_digest r);
+        if r.Service.unique_ops > 0 && r.Service.converged then 0 else 1
+      end
+    end
+    else
+    let wl = Workload.create ~n spec in
     if (not need_monitor) && trace_out = None && metrics_out = None then begin
       let r = Service.run ~wl params in
       Format.printf "%a@." Service.pp_report r;
@@ -1150,12 +1186,31 @@ let storm_victims_arg =
     & info [ "storm-victims" ] ~docv:"V"
         ~doc:"Replicas scrambled by the storm (with $(b,--storm-at)).")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"K"
+        ~doc:
+          "Partition the workload over $(docv) independent replica towers and \
+           merge their reports. Defaults to $(b,--domains) so each domain gets \
+           one shard. The merged digest depends only on the shard count, never \
+           on $(b,--domains).")
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Run shards on $(docv) parallel domains. Results are bit-identical \
+           for every value of $(docv); only wall-clock time changes.")
+
 let serve_cmd =
   let run n seed ops sessions keys window baseline storm_at storm_victims omit
-      trace_out metrics_out slo prom_out prom_every flight_out =
+      trace_out metrics_out slo prom_out prom_every flight_out shards domains =
     tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
       ~storm_victims ~omit ~trace_out ~metrics_out ~slo ~prom_out ~prom_every
-      ~flight_out ~watch:None
+      ~flight_out ~watch:None ~shards ~domains
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1163,20 +1218,24 @@ let serve_cmd =
          "Run the replicated service tower (total-order broadcast over repeated \
           multivalued consensus, applying a key-value log) under a generated \
           client workload, and report commit latency, throughput and \
-          convergence. Exits non-zero unless operations were committed, every \
-          live replica converged, and no $(b,--slo) alarm fired.")
+          convergence. With $(b,--shards)/$(b,--domains) the workload is \
+          partitioned over independent towers executed in parallel, with \
+          deterministic, domain-count-independent results. Exits non-zero \
+          unless operations were committed, every live replica converged, and \
+          no $(b,--slo) alarm fired.")
     Term.(
       const run $ n_arg $ seed_arg $ ops_arg $ sessions_arg $ keys_arg
       $ window_arg $ baseline_arg $ storm_at_arg $ storm_victims_arg
       $ omit_window_arg $ trace_out_arg $ metrics_out_arg $ slo_arg $ prom_out_arg
-      $ prom_every_arg $ flight_out_arg)
+      $ prom_every_arg $ flight_out_arg $ shards_arg $ domains_arg)
 
 let watch_cmd =
   let run n seed ops sessions keys window baseline storm_at storm_victims omit
       every out slo prom_out prom_every flight_out =
     tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
       ~storm_victims ~omit ~trace_out:None ~metrics_out:None ~slo ~prom_out
-      ~prom_every ~flight_out ~watch:(Some (every, out))
+      ~prom_every ~flight_out ~watch:(Some (every, out)) ~shards:(Some 1)
+      ~domains:1
   in
   let every_arg =
     Arg.(

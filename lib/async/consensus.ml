@@ -138,13 +138,18 @@ let process_with ?obs ~n ~style ~propose ~detector () =
     | None ->
       if Pidmap.cardinal co.co_ests < majority n then co
       else begin
-        let _, (best, _) =
+        (* Single ascending traversal; strict [>] keeps the winner the
+           lowest-pid estimate among the newest timestamps, exactly the
+           tie-break the two-pass (min_binding + fold) version computed. *)
+        let best =
           Pidmap.fold
-            (fun pid (est, ts) (best_pid, (best_est, best_ts)) ->
-              if ts > best_ts then (pid, (est, ts)) else (best_pid, (best_est, best_ts)))
-            co.co_ests
-            (Pidmap.min_binding co.co_ests)
+            (fun _ (est, ts) best ->
+              match best with
+              | Some (_, best_ts) when ts <= best_ts -> best
+              | Some _ | None -> Some (est, ts))
+            co.co_ests None
         in
+        let best = match best with Some (est, _) -> est | None -> assert false in
         Sim.broadcast ctx
           (Cons (Propose { tag = { instance = st.instance; round = co.co_round }; value = best }));
         { co with co_proposal = Some best }

@@ -15,26 +15,25 @@ let corrupt rng ~num_bound t =
     statuses = Array.map (fun _ -> if Rng.bool rng then Dead else Alive) t.statuses;
   }
 
-let bump t s status =
-  let nums = Array.copy t.nums and statuses = Array.copy t.statuses in
-  nums.(s) <- nums.(s) + 1;
-  statuses.(s) <- status;
-  { nums; statuses }
-
 let tick t ~self ~detect =
   let n = Array.length t.nums in
-  let t =
-    List.fold_left
-      (fun acc s ->
-        if Pid.equal s self then bump acc s Alive
-        else if detect s then bump acc s Dead
-        else acc)
-      t (Pid.all n)
-  in
+  (* One copy of each table per tick — not one per bumped subject, which
+     made a tick O(n) allocations on the simulator's hottest path. *)
+  let nums = Array.copy t.nums and statuses = Array.copy t.statuses in
+  for s = 0 to n - 1 do
+    if Pid.equal s self then begin
+      nums.(s) <- nums.(s) + 1;
+      statuses.(s) <- Alive
+    end
+    else if detect s then begin
+      nums.(s) <- nums.(s) + 1;
+      statuses.(s) <- Dead
+    end
+  done;
   let message =
-    List.map (fun s -> { subject = s; num = t.nums.(s); status = t.statuses.(s) }) (Pid.all n)
+    List.map (fun s -> { subject = s; num = nums.(s); status = statuses.(s) }) (Pid.all n)
   in
-  (t, message)
+  ({ nums; statuses }, message)
 
 let receive t message =
   let nums = Array.copy t.nums and statuses = Array.copy t.statuses in

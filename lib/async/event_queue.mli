@@ -2,11 +2,30 @@
 
     Events are ordered by (time, insertion sequence): ties in time resolve
     in insertion order, which makes every simulation replayable from its
-    seed alone. *)
+    seed alone.
+
+    The implementation is a bucketed calendar queue over an intrusive
+    node arena: a power-of-two ring of width-one time buckets holding
+    FIFO lists of preallocated nodes, an insertion-ordered overflow list
+    for events beyond the current window (promoted in bulk on epoch
+    rollover), and a freelist that recycles node slots — push and pop
+    are O(1) amortized and allocate nothing on the OCaml heap in steady
+    state. The original binary heap survives as {!Reference}, the model
+    the differential tests pin this structure to. *)
 
 type 'e t
 
-val create : unit -> 'e t
+(** [create ?initial_capacity ()] makes an empty queue.
+    [initial_capacity] (default 256) sizes the node arena and the bucket
+    ring for the expected standing population; both grow on demand and
+    never shrink. *)
+val create : ?initial_capacity:int -> unit -> 'e t
+
+(** [clear t] empties the queue, retaining its arena and buckets, so a
+    long-lived driver can reuse one allocation across runs. Payload
+    slots are released (no space leak). *)
+val clear : 'e t -> unit
+
 val is_empty : 'e t -> bool
 val size : 'e t -> int
 
@@ -14,8 +33,38 @@ val size : 'e t -> int
     time. *)
 val push : 'e t -> time:int -> 'e -> unit
 
+(** [push_tagged t ~time ~tag e] additionally stores an arbitrary [int]
+    tag alongside the payload, read back through {!out_tag} — the
+    allocation-free channel the simulator packs event kind and pids
+    into. [push] is [push_tagged] with tag 0. *)
+val push_tagged : 'e t -> time:int -> tag:int -> 'e -> unit
+
 (** [pop t] removes and returns the earliest event, [(time, e)]. *)
 val pop : 'e t -> (int * 'e) option
 
+(** [pop_step t] removes the earliest event without allocating: it
+    returns [false] on an empty queue, otherwise [true] with the event
+    readable through {!out_time}, {!out_tag} and {!out_payload} until
+    the next queue operation. *)
+val pop_step : 'e t -> bool
+
+val out_time : 'e t -> int
+val out_tag : 'e t -> int
+val out_payload : 'e t -> 'e
+
 (** [peek_time t] is the time of the earliest event without removing it. *)
 val peek_time : 'e t -> int option
+
+(** The seed binary-heap implementation (boxed entries, O(log n) sift
+    per operation), kept as the reference model for differential tests
+    and as the "before" side of the E16 queue benchmark. *)
+module Reference : sig
+  type 'e t
+
+  val create : unit -> 'e t
+  val is_empty : 'e t -> bool
+  val size : 'e t -> int
+  val push : 'e t -> time:int -> 'e -> unit
+  val pop : 'e t -> (int * 'e) option
+  val peek_time : 'e t -> int option
+end

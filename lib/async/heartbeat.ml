@@ -28,9 +28,10 @@ let corrupt rng ~time_bound ~timeout_bound t =
   }
 
 let tick t ~self ~now =
-  let last_heard = Array.copy t.last_heard
-  and timeout = Array.copy t.timeout
-  and down = Array.copy t.down in
+  (* [timeout] is not written on the tick path, so the copy is elided;
+     every writer ([heard], below) copies before mutating, which keeps
+     the shared array safe under value semantics. *)
+  let last_heard = Array.copy t.last_heard and down = Array.copy t.down in
   Array.iteri
     (fun s heard ->
       if Pid.equal s self then down.(s) <- false
@@ -38,10 +39,10 @@ let tick t ~self ~now =
         (* A corrupted last-heard time claiming the future is clamped so
            the deadline arithmetic self-heals. *)
         if heard > now then last_heard.(s) <- now;
-        down.(s) <- now - last_heard.(s) > timeout.(s)
+        down.(s) <- now - last_heard.(s) > t.timeout.(s)
       end)
     last_heard;
-  { t with last_heard; timeout; down }
+  { t with last_heard; down }
 
 let heard t ~src ~now =
   let last_heard = Array.copy t.last_heard

@@ -58,10 +58,21 @@ type ('s, 'o) result = {
   end_time : time;
 }
 
-type ('m, 's) event =
-  | Deliver of { src : Pid.t; dst : Pid.t; msg : 'm }
-  | Tick of Pid.t
-  | Scramble of Pid.t * ('s -> 's)
+(* Events travel through the queue as a packed int tag plus an untyped
+   payload slot, so the steady-state engine allocates nothing per event:
+   kind in the low 2 bits, source pid in bits 2-9, destination pid in
+   bits 10-17. Deliver carries the message in the payload slot, Scramble
+   the corruption function, Tick nothing. The [Obj] casts are confined
+   to this module and guarded by the kind bits. *)
+let kind_deliver = 0
+let kind_tick = 1
+let kind_scramble = 2
+let tag_pid tag = (tag lsr 2) land 0xff
+let tag_dst tag = (tag lsr 10) land 0xff
+
+type pool = Obj.t Event_queue.t
+
+let pool ?initial_capacity () : pool = Event_queue.create ?initial_capacity ()
 
 let crashed_set config =
   List.fold_left
@@ -70,11 +81,32 @@ let crashed_set config =
 
 let correct_set config = Pidset.diff (Pidset.full config.n) (crashed_set config)
 
-let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) config process =
+let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
+    process =
   if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
   if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
+  if config.n < 1 || config.n > 255 then invalid_arg "Sim.run: n outside 1..255";
   let rng = Rng.create config.seed in
-  let queue = Event_queue.create () in
+  let queue =
+    match pool with
+    | Some q ->
+      Event_queue.clear q;
+      q
+    | None -> Event_queue.create ()
+  in
+  let push_deliver ~time ~src ~dst (msg : 'm) =
+    Event_queue.push_tagged queue ~time
+      ~tag:(kind_deliver lor (src lsl 2) lor (dst lsl 10))
+      (Obj.repr msg)
+  in
+  let push_tick ~time p =
+    Event_queue.push_tagged queue ~time ~tag:(kind_tick lor (p lsl 2)) (Obj.repr 0)
+  in
+  let push_scramble ~time p (f : 's -> 's) =
+    Event_queue.push_tagged queue ~time
+      ~tag:(kind_scramble lor (p lsl 2))
+      (Obj.repr f)
+  in
   let crash_time = Array.make config.n max_int in
   List.iter
     (fun (p, t) -> crash_time.(p) <- min crash_time.(p) t)
@@ -149,7 +181,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) config process =
             emit
               (Ftss_obs.Event.make ~time:ctx.ctx_now
                  (Ftss_obs.Event.Send { src = ctx.ctx_self; dst = Some dst }));
-          Event_queue.push queue ~time:t (Deliver { src = ctx.ctx_self; dst; msg })
+          push_deliver ~time:t ~src:ctx.ctx_self ~dst msg
         end)
       (List.rev ctx.outbox);
     List.iter
@@ -175,57 +207,65 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) config process =
   in
   (* Initial ticks, staggered so processes do not step in lockstep. *)
   List.iter
-    (fun p -> Event_queue.push queue ~time:(1 + (p mod config.tick_interval)) (Tick p))
+    (fun p -> push_tick ~time:(1 + (p mod config.tick_interval)) p)
     (Pid.all config.n);
   List.iter
-    (fun (t, src, dst, msg) -> Event_queue.push queue ~time:t (Deliver { src; dst; msg }))
+    (fun (t, src, dst, msg) -> push_deliver ~time:t ~src ~dst msg)
     spurious;
   List.iter
     (fun (t, p, f) ->
       if t < 1 then invalid_arg "Sim.run: corrupt_at time < 1";
       if not (Pid.is_valid ~n:config.n p) then
         invalid_arg "Sim.run: corrupt_at pid out of range";
-      Event_queue.push queue ~time:t (Scramble (p, f)))
+      push_scramble ~time:t p f)
     corrupt_at;
   let end_time = ref 0 in
   let rec loop () =
-    match Event_queue.pop queue with
-    | None -> ()
-    | Some (t, _) when t > config.horizon -> end_time := config.horizon
-    | Some (t, event) ->
-      end_time := t;
-      (match event with
-      | Deliver { src; dst; msg } ->
-        if alive dst ~at:t && states.(dst) <> None then begin
-          incr delivered;
-          if traced then
-            emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Deliver { src; dst }));
-          step dst t (fun ctx s -> process.on_message ctx s ~src msg)
-        end
-        else begin
-          incr dropped_after_crash;
-          note_dead dst;
-          if traced then
-            emit
-              (Ftss_obs.Event.make ~time:t
-                 (Ftss_obs.Event.Drop { src; dst; blame = Some dst }))
-        end
-      | Tick p ->
-        if alive p ~at:t && states.(p) <> None then begin
-          step p t process.on_tick;
-          Event_queue.push queue ~time:(t + config.tick_interval) (Tick p)
-        end
-      | Scramble (p, f) -> (
-        (* A mid-run transient fault: the adversary rewrites p's state in
-           place. The victim takes no step — it only discovers the damage
-           (if its protocol can) at its next tick or delivery. *)
-        match states.(p) with
-        | Some s when alive p ~at:t ->
-          states.(p) <- Some (f s);
-          if traced then
-            emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Corrupt { pid = p }))
-        | _ -> ()));
-      loop ()
+    if Event_queue.pop_step queue then begin
+      let t = Event_queue.out_time queue in
+      if t > config.horizon then end_time := config.horizon
+      else begin
+        end_time := t;
+        let tag = Event_queue.out_tag queue in
+        (match tag land 3 with
+        | k when k = kind_deliver ->
+          let src = tag_pid tag and dst = tag_dst tag in
+          if alive dst ~at:t && states.(dst) <> None then begin
+            incr delivered;
+            if traced then
+              emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Deliver { src; dst }));
+            let msg : 'm = Obj.obj (Event_queue.out_payload queue) in
+            step dst t (fun ctx s -> process.on_message ctx s ~src msg)
+          end
+          else begin
+            incr dropped_after_crash;
+            note_dead dst;
+            if traced then
+              emit
+                (Ftss_obs.Event.make ~time:t
+                   (Ftss_obs.Event.Drop { src; dst; blame = Some dst }))
+          end
+        | k when k = kind_tick ->
+          let p = tag_pid tag in
+          if alive p ~at:t && states.(p) <> None then begin
+            step p t process.on_tick;
+            push_tick ~time:(t + config.tick_interval) p
+          end
+        | _ -> (
+          (* A mid-run transient fault: the adversary rewrites p's state in
+             place. The victim takes no step — it only discovers the damage
+             (if its protocol can) at its next tick or delivery. *)
+          let p = tag_pid tag in
+          match states.(p) with
+          | Some s when alive p ~at:t ->
+            let f : 's -> 's = Obj.obj (Event_queue.out_payload queue) in
+            states.(p) <- Some (f s);
+            if traced then
+              emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Corrupt { pid = p }))
+          | _ -> ()));
+        loop ()
+      end
+    end
   in
   loop ();
   (* Mark crashed processes in the final state vector. *)
@@ -244,3 +284,39 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) config process =
     dropped_by_adversary = !dropped_by_adversary;
     end_time = !end_time;
   }
+
+(* Deterministic parallel execution of independent sub-simulations: the
+   chunked atomic work-claiming pattern from Explore, degenerating to a
+   plain sequential loop at one domain. Each shard owns its rng, queue
+   and states, so the value a shard computes is a function of its thunk
+   alone — results land in a slot per shard and the merged array is
+   bit-identical whatever the domain count or claiming interleaving. *)
+let run_shards ?(domains = 1) (shards : (unit -> 'a) array) : 'a array =
+  let len = Array.length shards in
+  let domains = max 1 (min domains (max 1 len)) in
+  let results = Array.make len None in
+  if domains = 1 then
+    Array.iteri (fun i shard -> results.(i) <- Some (shard ())) shards
+  else begin
+    let next = Atomic.make 0 in
+    let chunk = max 1 (min 64 (len / (domains * 8))) in
+    let worker () =
+      let rec claim () =
+        let first = Atomic.fetch_and_add next chunk in
+        if first < len then begin
+          let limit = min len (first + chunk) in
+          for i = first to limit - 1 do
+            results.(i) <- Some (shards.(i) ())
+          done;
+          claim ()
+        end
+      in
+      claim ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned
+  end;
+  Array.map
+    (function Some r -> r | None -> assert false (* every index was claimed *))
+    results

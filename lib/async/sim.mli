@@ -98,17 +98,42 @@ type ('s, 'o) result = {
     it runs on the scrambled state from its next delivery or tick. A
     [Corrupt] event is emitted at the fault time when traced. Entries for
     already-crashed processes are ignored. Raises [Invalid_argument] on
-    non-positive [tick_interval] or [horizon], a [corrupt_at] time < 1,
-    or a [corrupt_at] pid outside the system. *)
+    non-positive [tick_interval] or [horizon], an [n] outside 1..255, a
+    [corrupt_at] time < 1, or a [corrupt_at] pid outside the system.
+
+    [pool], when given, supplies a reusable event-queue arena: the run
+    clears and reuses its buckets and node slots instead of allocating a
+    fresh queue, so a driver executing many simulations back to back
+    (the repeated-consensus benchmarks, the service tower) pays the
+    queue's allocation once. A pool must not be shared between
+    concurrently running simulations. *)
+
+(** A reusable event-queue arena for {!run}'s [?pool] argument. *)
+type pool
+
+(** [pool ?initial_capacity ()] allocates an arena sized for the
+    expected standing event population (it grows on demand). *)
+val pool : ?initial_capacity:int -> unit -> pool
+
 val run :
   ?obs:Ftss_obs.Obs.t ->
   ?corrupt:(Pid.t -> 's -> 's) ->
   ?corrupt_at:(time * Pid.t * ('s -> 's)) list ->
   ?drop:(time:time -> src:Pid.t -> dst:Pid.t -> bool) ->
   ?spurious:(time * Pid.t * Pid.t * 'm) list ->
+  ?pool:pool ->
   config ->
   ('s, 'm, 'o) process ->
   ('s, 'o) result
+
+(** [run_shards ?domains shards] executes the independent sub-simulation
+    thunks in [shards] and returns their results in shard order. With
+    [domains > 1] the shards are claimed by that many domains using
+    chunked atomic work-stealing; every shard owns its rng, queue and
+    states, so the result array is bit-identical whatever the domain
+    count — the merge rule the sharded service driver and the golden
+    digest tests rely on. [domains] is clamped to [1 .. length shards]. *)
+val run_shards : ?domains:int -> (unit -> 'a) array -> 'a array
 
 (** [crashed_set config] is the set of processes that crash within the
     horizon — the faulty set of an asynchronous run. *)

@@ -57,6 +57,15 @@ let lobserve h v =
   let b = lhist_bucket v in
   h.buckets.(b) <- h.buckets.(b) + 1
 
+let lhist_merge into from =
+  into.l_count <- into.l_count + from.l_count;
+  into.l_sum <- into.l_sum +. from.l_sum;
+  if from.l_min < into.l_min then into.l_min <- from.l_min;
+  if from.l_max > into.l_max then into.l_max <- from.l_max;
+  for b = 0 to lhist_buckets - 1 do
+    into.buckets.(b) <- into.buckets.(b) + from.buckets.(b)
+  done
+
 let lhist_count h = h.l_count
 let lhist_sum h = h.l_sum
 let lhist_min h = if h.l_count = 0 then nan else h.l_min

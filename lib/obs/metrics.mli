@@ -69,6 +69,13 @@ val lhist : t -> string -> lhist
 val lhist_create : unit -> lhist
 
 val lobserve : lhist -> float -> unit
+
+(** [lhist_merge into from] folds [from]'s samples into [into] (counts,
+    sum, extremes, and buckets add exactly — log bucketing makes merging
+    lossless). [from] is left untouched. Sharded runs use this to combine
+    per-shard latency histograms into one population. *)
+val lhist_merge : lhist -> lhist -> unit
+
 val lhist_count : lhist -> int
 val lhist_sum : lhist -> float
 

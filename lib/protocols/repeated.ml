@@ -154,3 +154,30 @@ let run_async_rebuilt ?obs ~n ~seed ~style ~propose ~instances
     end_time := max !end_time result.Sim.end_time
   done;
   { instances_decided = !decided; decisions = !total; end_time = !end_time }
+
+let run_async_pooled ?obs ~n ~seed ~style ~propose ~instances
+    ~horizon_per_instance () =
+  (* Identical schedule to [run_async_rebuilt] — config, oracle and rng
+     seeds are reproduced per instance — but the event-queue arena is
+     cleared and reused instead of reallocated, isolating the queue's
+     share of the rebuild price in the M1 rows. *)
+  let pool = Sim.pool () in
+  let decided = ref 0 and total = ref 0 and end_time = ref 0 in
+  for i = 0 to instances - 1 do
+    let config =
+      async_config ~n ~seed:(seed + (2 * i)) ~horizon:(50 + horizon_per_instance)
+    in
+    let oracle =
+      async_oracle ~n ~seed:(seed + (2 * i) + 1) ~gst:config.Sim.gst
+    in
+    let propose p j = propose p (i + j) in
+    let result =
+      Sim.run ?obs ~pool config
+        (Consensus.process ?obs ~n ~style ~propose ~oracle ())
+    in
+    let ds = Consensus.decisions result in
+    if List.exists (fun d -> d.Consensus.d_instance = 0) ds then incr decided;
+    total := !total + List.length ds;
+    end_time := max !end_time result.Sim.end_time
+  done;
+  { instances_decided = !decided; decisions = !total; end_time = !end_time }

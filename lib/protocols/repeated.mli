@@ -109,3 +109,19 @@ val run_async_rebuilt :
   horizon_per_instance:int ->
   unit ->
   async_outcome
+
+(** [run_async_pooled] is [run_async_rebuilt] with one difference: all
+    instances share a single {!Ftss_async.Sim.pool}, so the event-queue
+    arena is cleared and reused rather than reallocated per instance.
+    Outcomes are identical to [run_async_rebuilt]; only the allocation
+    profile differs — the M1 row pair prices exactly the queue rebuild. *)
+val run_async_pooled :
+  ?obs:Ftss_obs.Obs.t ->
+  n:int ->
+  seed:int ->
+  style:Ftss_async.Consensus.style ->
+  propose:(Pid.t -> int -> int) ->
+  instances:int ->
+  horizon_per_instance:int ->
+  unit ->
+  async_outcome

@@ -195,7 +195,10 @@ let percentiles_of h =
         max = Ftss_obs.Metrics.lhist_max h;
       }
 
-let run ?obs ~wl (params : params) =
+(* [run_measured] is [run] plus the raw latency histogram, which the
+   sharded driver merges across shards before taking percentiles
+   (percentiles of percentiles would be wrong). *)
+let run_measured ?obs ~wl (params : params) =
   let n = params.n in
   let horizon =
     if params.horizon > 0 then params.horizon else (Workload.spec wl).window + 3000
@@ -377,29 +380,155 @@ let run ?obs ~wl (params : params) =
     | Some s -> (Tob.content_digest s.tob, Tob.kv_recomputed s.tob)
     | None -> (0, 0)
   in
+  ( {
+      n;
+      style = params.style;
+      submitted = !submitted;
+      committed_slots;
+      committed_ops = !committed_ops;
+      unique_ops = !unique_ops;
+      converged;
+      slots_checked;
+      slots_agreeing = !slots_agreeing;
+      log_digest;
+      kv_digest;
+      end_time = result.Sim.end_time;
+      wall_seconds;
+      latency = percentiles_of lat;
+      measured_ops = !measured;
+      throughput =
+        (if wall_seconds > 0.0 then float_of_int !unique_ops /. wall_seconds else 0.0);
+      recoveries;
+      storm_recovery;
+      delivered = result.Sim.delivered;
+      dropped = result.Sim.dropped_after_crash + result.Sim.dropped_by_adversary;
+    },
+    lat )
+
+let run ?obs ~wl (params : params) = fst (run_measured ?obs ~wl params)
+
+(* --- sharding --- *)
+
+(* [shard_spec spec ~shards ~shard] carves shard [shard]'s slice out of
+   the workload: ops and sessions split as evenly as integer division
+   allows (the first [ops mod shards] shards take one extra op), and the
+   generator seed is mixed per shard so shards draw distinct key/op
+   streams. The split depends only on (spec, shards, shard) — never on
+   how many domains execute it. *)
+let shard_spec (spec : Workload.spec) ~shards ~shard =
+  let slice total i = (total / shards) + if i < total mod shards then 1 else 0 in
   {
-    n;
-    style = params.style;
-    submitted = !submitted;
-    committed_slots;
-    committed_ops = !committed_ops;
-    unique_ops = !unique_ops;
-    converged;
-    slots_checked;
-    slots_agreeing = !slots_agreeing;
-    log_digest;
-    kv_digest;
-    end_time = result.Sim.end_time;
-    wall_seconds;
-    latency = percentiles_of lat;
-    measured_ops = !measured;
-    throughput =
-      (if wall_seconds > 0.0 then float_of_int !unique_ops /. wall_seconds else 0.0);
-    recoveries;
-    storm_recovery;
-    delivered = result.Sim.delivered;
-    dropped = result.Sim.dropped_after_crash + result.Sim.dropped_by_adversary;
+    spec with
+    Workload.ops = slice spec.Workload.ops shard;
+    sessions = max 1 (slice spec.Workload.sessions shard);
+    seed = Kv.mix spec.Workload.seed (0x5A0 + shard);
   }
+
+let shard_params (params : params) ~shard =
+  { params with seed = Kv.mix params.seed (0x5B0 + shard) }
+
+(* Merge a fixed-order array of shard reports into one. Counters add;
+   [converged] requires every shard; digests chain in shard order (the
+   order is the shard index, so the merged digest is independent of
+   execution interleaving); latency histograms merge losslessly before
+   percentiles are taken; storm recovery takes the worst shard per storm
+   time. Wall time is the caller-measured parallel section, so merged
+   throughput reflects actual elapsed time rather than a sum of
+   per-shard clocks. *)
+let merge_reports ~(params : params) ~wall_seconds
+    (parts : (report * Ftss_obs.Metrics.lhist) array) =
+  let sum f = Array.fold_left (fun acc (r, _) -> acc + f r) 0 parts in
+  let fmax f =
+    Array.fold_left (fun acc (r, _) -> max acc (f r)) min_int parts
+  in
+  let chain f =
+    Array.fold_left (fun acc (r, _) -> Kv.chain acc (f r)) 0 parts
+  in
+  let lat = Ftss_obs.Metrics.lhist_create () in
+  Array.iter (fun (_, l) -> Ftss_obs.Metrics.lhist_merge lat l) parts;
+  let storm_recovery =
+    let times =
+      List.sort_uniq compare (List.map fst params.faults.storms)
+    in
+    List.map
+      (fun t ->
+        let worst pick =
+          Array.fold_left
+            (fun acc (r, _) ->
+              match List.assoc_opt t (List.map (fun (t', a, b) -> (t', (a, b))) r.storm_recovery) with
+              | None -> acc
+              | Some entry -> (
+                let v = pick entry in
+                match (acc, v) with
+                | None, _ | _, None -> None
+                | Some a, Some b -> Some (max a b)))
+            (Some 0) parts
+        in
+        (t, worst fst, worst snd))
+      times
+  in
+  let unique_ops = sum (fun r -> r.unique_ops) in
+  ( {
+      n = params.n;
+      style = params.style;
+      submitted = sum (fun r -> r.submitted);
+      committed_slots = sum (fun r -> r.committed_slots);
+      committed_ops = sum (fun r -> r.committed_ops);
+      unique_ops;
+      converged = Array.for_all (fun (r, _) -> r.converged) parts;
+      slots_checked = sum (fun r -> r.slots_checked);
+      slots_agreeing = sum (fun r -> r.slots_agreeing);
+      log_digest = chain (fun r -> r.log_digest);
+      kv_digest = chain (fun r -> r.kv_digest);
+      end_time = fmax (fun r -> r.end_time);
+      wall_seconds;
+      latency = percentiles_of lat;
+      measured_ops = sum (fun r -> r.measured_ops);
+      throughput =
+        (if wall_seconds > 0.0 then float_of_int unique_ops /. wall_seconds
+         else 0.0);
+      recoveries = sum (fun r -> r.recoveries);
+      storm_recovery;
+      delivered = sum (fun r -> r.delivered);
+      dropped = sum (fun r -> r.dropped);
+    },
+    lat )
+
+let run_sharded ?obs ?(domains = 1) ~shards ~spec (params : params) =
+  if shards < 1 then invalid_arg "Service.run_sharded: shards < 1";
+  let thunks =
+    Array.init shards (fun i ->
+        fun () ->
+          let wl = Workload.create ~n:params.n (shard_spec spec ~shards ~shard:i) in
+          (* No [obs] inside shards: the observability pipeline is not
+             domain-safe, and per-shard streams would interleave
+             nondeterministically. Shard summaries are exported as gauges
+             after the merge instead. *)
+          run_measured ~wl (shard_params params ~shard:i))
+  in
+  let t0 = Unix.gettimeofday () in
+  let parts = Sim.run_shards ~domains thunks in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let report, _ = merge_reports ~params ~wall_seconds parts in
+  (match obs with
+  | None -> ()
+  | Some o ->
+    Ftss_obs.Obs.with_metrics o (fun m ->
+        let set name v =
+          Ftss_obs.Metrics.set (Ftss_obs.Metrics.gauge m name) v
+        in
+        set "service.shards" (float_of_int shards);
+        set "service.domains" (float_of_int domains);
+        Array.iteri
+          (fun i ((r : report), _) ->
+            let g fmt = Printf.sprintf fmt i in
+            set (g "shard.%d.unique_ops") (float_of_int r.unique_ops);
+            set (g "shard.%d.committed_slots") (float_of_int r.committed_slots);
+            set (g "shard.%d.end_time") (float_of_int r.end_time);
+            set (g "shard.%d.converged") (if r.converged then 1.0 else 0.0);
+            set (g "shard.%d.wall_seconds") r.wall_seconds)
+          parts));
+  report
 
 let pp_report ppf r =
   let pp_lat ppf = function

@@ -72,4 +72,34 @@ val report_digest : report -> int
     emits its event stream. *)
 val run : ?obs:Ftss_obs.Obs.t -> wl:Workload.t -> params -> report
 
+(** [run_sharded ?obs ?domains ~shards ~spec params] partitions the
+    workload spec into [shards] independent replica towers (ops and
+    sessions split evenly, per-shard generator and simulation seeds mixed
+    from the base seeds) and executes them on [domains] domains via
+    {!Ftss_async.Sim.run_shards}. The partition and every shard's
+    simulation depend only on [(spec, params, shards)] — [domains] is
+    pure executor parallelism — so the merged report's
+    {!report_digest} is bit-identical for any domain count.
+
+    The merged report sums counters across shards, requires [converged]
+    on every shard, chains log/KV digests in shard order, takes the
+    latest [end_time], merges latency histograms losslessly before
+    computing percentiles, and reports the worst shard per storm time.
+    [wall_seconds] and [throughput] measure the whole parallel section
+    with a real-time clock, so domain scaling is visible.
+
+    With [obs], per-shard summary gauges ([shard.<i>.unique_ops],
+    [shard.<i>.committed_slots], [shard.<i>.end_time],
+    [shard.<i>.converged], [shard.<i>.wall_seconds]) plus
+    [service.shards] / [service.domains] are recorded after the merge;
+    shard-internal event streams are not emitted (the pipeline is not
+    domain-safe). *)
+val run_sharded :
+  ?obs:Ftss_obs.Obs.t ->
+  ?domains:int ->
+  shards:int ->
+  spec:Workload.spec ->
+  params ->
+  report
+
 val pp_report : Format.formatter -> report -> unit

@@ -47,6 +47,121 @@ let test_queue_rejects_negative_time () =
   Alcotest.check_raises "negative" (Invalid_argument "Event_queue.push: negative time")
     (fun () -> Event_queue.push q ~time:(-1) ())
 
+(* --- Differential suite: calendar queue vs. the reference heap ---
+
+   The Reference module is the seed binary heap; the calendar queue must
+   produce the identical (time, payload) stream on every schedule that
+   exercises its structural cases: same-time FIFO runs, epoch rollover,
+   overflow promotion, pushes into the past (window rewind), clear and
+   reuse. Payloads are unique ints so FIFO order within a time is pinned
+   exactly, not just up to time. *)
+
+let drain_both q r =
+  let rec loop acc =
+    match (Event_queue.pop q, Event_queue.Reference.pop r) with
+    | None, None -> List.rev acc
+    | Some (t, v), Some (t', v') ->
+      Alcotest.(check (pair int int)) "pop agrees" (t', v') (t, v);
+      loop ((t, v) :: acc)
+    | Some _, None -> Alcotest.fail "calendar has events the heap lacks"
+    | None, Some _ -> Alcotest.fail "heap has events the calendar lacks"
+  in
+  loop []
+
+let test_queue_differential_random () =
+  (* Interleaved push/pop across several rngs and scales, with times
+     spanning far past the initial window so rollover, overflow and
+     bucket growth all trigger; a mid-run drain-to-empty exercises the
+     epoch jump, and each queue pair is cleared and reused once. *)
+  List.iter
+    (fun seed ->
+      let rng = Rng.create seed in
+      let q = Event_queue.create ~initial_capacity:16 () in
+      let r = Event_queue.Reference.create () in
+      let now = ref 0 in
+      for round = 0 to 1 do
+        for i = 0 to 2_000 do
+          (* Mostly future pushes; occasionally land exactly at [now] or
+             behind it (legal: only negative absolute time is rejected),
+             which drives the rewind path. *)
+          let time =
+            match Rng.int rng 10 with
+            | 0 -> max 0 (!now - Rng.int rng 50)
+            | 1 -> !now + Rng.int rng 10_000 (* deep overflow *)
+            | _ -> !now + Rng.int rng 300
+          in
+          let v = (round * 1_000_000) + i in
+          Event_queue.push q ~time v;
+          Event_queue.Reference.push r ~time v;
+          if Rng.int rng 3 = 0 then begin
+            match (Event_queue.pop q, Event_queue.Reference.pop r) with
+            | Some (t, a), Some (t', b) ->
+              Alcotest.(check (pair int int)) "interleaved pop" (t', b) (t, a);
+              now := t
+            | _ -> Alcotest.fail "queues diverged on emptiness"
+          end
+        done;
+        check_int "sizes agree" (Event_queue.Reference.size r) (Event_queue.size q);
+        ignore (drain_both q r);
+        now := 0;
+        (* Round 2 runs on the cleared arena. *)
+        Event_queue.clear q
+      done)
+    [ 7; 19; 233 ]
+
+let test_queue_differential_same_time_runs () =
+  (* Bursts of equal timestamps interleaved with pops: FIFO within each
+     time must match the heap's insertion-sequence order exactly. *)
+  let rng = Rng.create 5 in
+  let q = Event_queue.create () in
+  let r = Event_queue.Reference.create () in
+  let v = ref 0 in
+  for _ = 0 to 200 do
+    let t = Rng.int rng 40 in
+    for _ = 0 to Rng.int rng 8 do
+      incr v;
+      Event_queue.push q ~time:t !v;
+      Event_queue.Reference.push r ~time:t !v
+    done
+  done;
+  ignore (drain_both q r)
+
+let test_queue_differential_epoch_rollover () =
+  (* A strictly advancing hold pattern that walks the window over many
+     epochs, repeatedly promoting from overflow. *)
+  let rng = Rng.create 91 in
+  let q = Event_queue.create ~initial_capacity:16 () in
+  let r = Event_queue.Reference.create () in
+  let seed_times = Array.init 64 (fun _ -> Rng.int rng 100) in
+  Array.iteri
+    (fun i t ->
+      Event_queue.push q ~time:t i;
+      Event_queue.Reference.push r ~time:t i)
+    seed_times;
+  let rng_q = Rng.create 17 and rng_r = Rng.create 17 in
+  for i = 64 to 5_000 do
+    (match Event_queue.pop q with
+    | Some (t, _) -> Event_queue.push q ~time:(t + 1 + Rng.int rng_q 700) i
+    | None -> Alcotest.fail "calendar drained early");
+    match Event_queue.Reference.pop r with
+    | Some (t, _) -> Event_queue.Reference.push r ~time:(t + 1 + Rng.int rng_r 700) i
+    | None -> Alcotest.fail "heap drained early"
+  done;
+  ignore (drain_both q r)
+
+let test_queue_clear_retains_nothing () =
+  let q = Event_queue.create () in
+  for i = 0 to 999 do
+    Event_queue.push q ~time:(i * 3) i
+  done;
+  Event_queue.clear q;
+  check "empty after clear" true (Event_queue.is_empty q);
+  check_int "size 0" 0 (Event_queue.size q);
+  check "pop None" true (Event_queue.pop q = None);
+  Event_queue.push q ~time:4 42;
+  Alcotest.(check (option (pair int int))) "usable after clear" (Some (4, 42))
+    (Event_queue.pop q)
+
 (* --- Sim engine --- *)
 
 (* Each process counts ticks and echoes received ints back incremented. *)
@@ -478,6 +593,10 @@ let suite =
         tc "ties resolve by insertion" `Quick test_queue_ties_resolve_by_insertion;
         tc "interleaved operations" `Quick test_queue_interleaved_operations;
         tc "rejects negative time" `Quick test_queue_rejects_negative_time;
+        tc "differential vs reference heap (random)" `Quick test_queue_differential_random;
+        tc "differential same-time FIFO runs" `Quick test_queue_differential_same_time_runs;
+        tc "differential epoch rollover + overflow" `Quick test_queue_differential_epoch_rollover;
+        tc "clear retains nothing" `Quick test_queue_clear_retains_nothing;
       ] );
     ( "sim",
       [

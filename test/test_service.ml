@@ -230,6 +230,34 @@ let test_service_golden_determinism () =
   check "converged" true r1.Service.converged;
   check_int "pinned digest" golden_digest (Service.report_digest r1)
 
+(* Sharded golden: the merged report is a pure function of
+   (spec, params, shards) — the executing domain count must be
+   invisible. Run the same 4-shard partition on 1, 2 and 4 domains and
+   pin the digests to each other and to the single-shard law that every
+   shard converges. *)
+let test_service_sharded_domain_independent () =
+  let n = 4 in
+  let spec = { small_spec with Workload.ops = 3_000; window = 1_200; seed = 31 } in
+  let params =
+    {
+      (Service.default_params ~n ~seed:57) with
+      Service.faults =
+        { Service.no_faults with Service.storms = [ (700, 1) ] };
+    }
+  in
+  let run domains =
+    Service.run_sharded ~domains ~shards:4 ~spec params
+  in
+  let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+  check "converged" true r1.Service.converged;
+  check "ops committed" true (r1.Service.unique_ops > 0);
+  check_int "2 domains = 1 domain"
+    (Service.report_digest r1) (Service.report_digest r2);
+  check_int "4 domains = 1 domain"
+    (Service.report_digest r1) (Service.report_digest r4);
+  (* The merge itself is replayable. *)
+  check_int "replayable" (Service.report_digest r1) (Service.report_digest (run 1))
+
 let suite =
   [
     ( "service",
@@ -248,5 +276,7 @@ let suite =
         Alcotest.test_case "baseline never repairs" `Quick
           test_service_baseline_has_no_repair;
         Alcotest.test_case "golden determinism" `Quick test_service_golden_determinism;
+        Alcotest.test_case "sharded runs are domain-count independent" `Quick
+          test_service_sharded_domain_independent;
       ] );
   ]
