@@ -816,7 +816,64 @@ let e11 m =
   row "theorem4" "none" 3 9 1;
   row "theorem4" "no-suspect-filter" 3 9 1;
   row "theorem5" "none" 3 3 1;
-  Table.print table
+  Table.print table;
+  (* Symmetry-reduced exploration: the same sweeps with [~canonical:true]
+     execute one representative per pid-permutation orbit and scatter the
+     verdict. At enumeration-sized spaces the full pass double-checks the
+     verdict equivalence; at n=200 the orbit collapse is what makes an
+     exhaustive theorem-3 sweep feasible at all (the full pass would be
+     hundreds of thousands of 200-process runs, so it is skipped). *)
+  let ctable =
+    Table.create
+      ~title:
+        "E11b (ftss_check) Symmetry-reduced exploration: orbit collapse and \
+         verdict equivalence under --canonical"
+      [
+        "property"; "inject"; "n"; "r"; "f"; "cases"; "orbits"; "reduction";
+        "viol"; "=full"; "t canon (s)";
+      ]
+  in
+  let crow name inject n rounds f =
+    match Property.find ~name ~inject with
+    | Error msg -> failwith msg
+    | Ok prop ->
+      let params =
+        prop.Property.restrict
+          { Schedule_enum.n; rounds; f; intervals = true; drops = true }
+      in
+      let cases = Schedule_enum.enumerate params in
+      let total = Array.length cases in
+      let cstats, _ = Explore.run ~domains:1 ~canonical:true prop cases in
+      let equal_to_full =
+        if total > 10_000 then "skipped"
+        else begin
+          let stats, _ = Explore.run ~domains:1 prop cases in
+          if stats.Explore.violations = cstats.Explore.violations then "yes"
+          else "NO"
+        end
+      in
+      M.set
+        (M.gauge m (Printf.sprintf "canonical_orbits.%s.%s.n%d.r%d.f%d" name inject n rounds f))
+        (float_of_int cstats.Explore.orbits);
+      M.set
+        (M.gauge m
+           (Printf.sprintf "canonical_runs_per_sec.%s.%s.n%d.r%d.f%d" name inject n rounds f))
+        (Explore.runs_per_sec cstats);
+      Table.add_row ctable
+        [
+          name; inject; string_of_int n; string_of_int rounds; string_of_int f;
+          string_of_int total;
+          string_of_int cstats.Explore.orbits;
+          Printf.sprintf "%.1fx" (Explore.symmetry_reduction cstats);
+          string_of_int (List.length cstats.Explore.violations);
+          equal_to_full;
+          Printf.sprintf "%.2f" cstats.Explore.elapsed;
+        ]
+  in
+  crow "theorem3" "none" 3 3 1;
+  crow "theorem3" "frozen-exchange" 3 3 1;
+  crow "theorem3" "none" 200 2 1;
+  Table.print ctable
 
 (* E12 — ftss_fuzz: coverage-guided fuzzing vs. the exhaustive checker.  *)
 

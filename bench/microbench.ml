@@ -130,6 +130,23 @@ let queue_cycle_heap =
            Event_queue.Reference.push q ~time:(t + 1 + Rng.int rng 120) ()
          | None -> assert false))
 
+(* The Pidset hot path at both representations: a mixed
+   union/inter/diff/cardinal/mem workload over fixed operands — one-word
+   (n <= 62: immediate ints, single-instruction ops) and multi-word
+   (n = 200). The one-word row gates, via bench-diff, that the width
+   polymorphism left the historic fast path untouched. *)
+let pidset_ops ~n =
+  let a = Pidset.of_pred n (fun p -> p mod 3 = 0) in
+  let b = Pidset.of_pred n (fun p -> p mod 2 = 0) in
+  Test.make
+    ~name:(Printf.sprintf "pidset mixed ops (n=%d)" n)
+    (Staged.stage (fun () ->
+         let u = Pidset.union a b in
+         let i = Pidset.inter u a in
+         let d = Pidset.diff u b in
+         ignore (Pidset.cardinal i + Pidset.cardinal d);
+         ignore (Pidset.mem (n - 1) u)))
+
 (* [Explore.run ~domains:d] spawns d-1 worker domains inside every call,
    so a multi-domain row measures spawn+join cost plus the workload — on a
    ~3 ms workload the spawns dominate and the row must not be read as the
@@ -180,6 +197,8 @@ let tests =
       repeated_pooled_queue ~n:4 ~instances:8;
       queue_cycle_calendar;
       queue_cycle_heap;
+      pidset_ops ~n:61;
+      pidset_ops ~n:200;
       explorer_throughput ~domains:1;
       explorer_throughput ~domains:(max 2 (Ftss_check.Explore.available ()));
       domain_spawn_join ~spawns:(max 2 (Ftss_check.Explore.available ()) - 1);

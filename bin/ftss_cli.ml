@@ -520,8 +520,21 @@ let json_arg =
            else (the single-domain comparison pass and counterexample shrinking are \
            skipped). Exit codes are unchanged.")
 
+let canonical_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "canonical" ]
+        ~doc:
+          "Collapse pid-permutation-symmetric cases: group the adversary space into \
+           orbits under process relabelling, execute one canonical representative per \
+           orbit and scatter its verdict to every member. Sound for pid-symmetric \
+           properties (theorem3); the orbit count and reduction factor are reported \
+           in the statistics.")
+
 let check_cmd =
-  let run n f rounds property inject domains out json dot trace_out metrics_out =
+  let run n f rounds property inject domains canonical out json dot trace_out
+      metrics_out =
     with_obs ~stamp:n trace_out metrics_out @@ fun obs ->
     let open Ftss_check in
     match Property.find ~name:property ~inject with
@@ -554,7 +567,7 @@ let check_cmd =
             (Array.length cases)
         end;
         let domains = if domains <= 0 then Explore.available () else domains in
-        let stats, results = Explore.run ?obs ~domains prop cases in
+        let stats, results = Explore.run ?obs ~domains ~canonical prop cases in
         if json then begin
           print_endline (Ftss_obs.Json.to_string (Explore.to_json stats));
           match stats.Explore.violations with [] -> 0 | _ :: _ -> 1
@@ -562,7 +575,7 @@ let check_cmd =
         else begin
           Format.printf "%a@." Explore.pp_stats stats;
           if stats.Explore.domains > 1 then begin
-            let stats1, _ = Explore.run ~domains:1 prop cases in
+            let stats1, _ = Explore.run ~domains:1 ~canonical prop cases in
             Format.printf
               "single-domain elapsed: %.3f s -> speedup %.2fx at %d domains@."
               stats1.Explore.elapsed
@@ -620,7 +633,8 @@ let check_cmd =
     in
     Term.(
       const run $ n_arg $ f_arg $ check_rounds_arg $ property_arg $ inject_arg
-      $ domains_arg $ out_arg $ json_arg $ dot_arg $ trace_out_arg $ metrics_out_arg)
+      $ domains_arg $ canonical_arg $ out_arg $ json_arg $ dot_arg $ trace_out_arg
+      $ metrics_out_arg)
   in
   Cmd.v
     (Cmd.info "check"

@@ -60,15 +60,18 @@ type ('s, 'o) result = {
 
 (* Events travel through the queue as a packed int tag plus an untyped
    payload slot, so the steady-state engine allocates nothing per event:
-   kind in the low 2 bits, source pid in bits 2-9, destination pid in
-   bits 10-17. Deliver carries the message in the payload slot, Scramble
-   the corruption function, Tick nothing. The [Obj] casts are confined
-   to this module and guarded by the kind bits. *)
+   kind in the low 2 bits, source pid in bits 2-13, destination pid in
+   bits 14-25 (12 bits per pid field, so systems up to 4096 processes
+   pack without widening the tag word). Deliver carries the message in
+   the payload slot, Scramble the corruption function, Tick nothing. The
+   [Obj] casts are confined to this module and guarded by the kind
+   bits. *)
 let kind_deliver = 0
 let kind_tick = 1
 let kind_scramble = 2
-let tag_pid tag = (tag lsr 2) land 0xff
-let tag_dst tag = (tag lsr 10) land 0xff
+let max_n = 4096
+let tag_pid tag = (tag lsr 2) land 0xfff
+let tag_dst tag = (tag lsr 14) land 0xfff
 
 type pool = Obj.t Event_queue.t
 
@@ -85,7 +88,8 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
     process =
   if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
   if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
-  if config.n < 1 || config.n > 255 then invalid_arg "Sim.run: n outside 1..255";
+  if config.n < 1 || config.n > max_n then
+    invalid_arg (Printf.sprintf "Sim.run: n outside 1..%d" max_n);
   let rng = Rng.create config.seed in
   let queue =
     match pool with
@@ -96,7 +100,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
   in
   let push_deliver ~time ~src ~dst (msg : 'm) =
     Event_queue.push_tagged queue ~time
-      ~tag:(kind_deliver lor (src lsl 2) lor (dst lsl 10))
+      ~tag:(kind_deliver lor (src lsl 2) lor (dst lsl 14))
       (Obj.repr msg)
   in
   let push_tick ~time p =

@@ -58,6 +58,11 @@ type config = {
   horizon : time;  (** simulation end time *)
 }
 
+val max_n : int
+(** Largest supported system size: 4096. Event descriptors pack the
+    source and destination pids into 12-bit fields of an int tag, so the
+    engine stays allocation-free per event at any accepted [n]. *)
+
 val default_config : n:int -> seed:int -> config
 (** 5 processes' worth of sane defaults: [gst = 500],
     [delay_before_gst = (1, 120)], [delay_after_gst = (1, 8)],
@@ -98,7 +103,8 @@ type ('s, 'o) result = {
     it runs on the scrambled state from its next delivery or tick. A
     [Corrupt] event is emitted at the fault time when traced. Entries for
     already-crashed processes are ignored. Raises [Invalid_argument] on
-    non-positive [tick_interval] or [horizon], an [n] outside 1..255, a
+    non-positive [tick_interval] or [horizon], an [n] outside
+    [1..max_n], a
     [corrupt_at] time < 1, or a [corrupt_at] pid outside the system.
 
     [pool], when given, supplies a reusable event-queue arena: the run

@@ -4,6 +4,7 @@ type domain_stat = { d_cases : int; d_states : int; d_busy : float }
 
 type stats = {
   cases : int;
+  orbits : int;
   distinct : int;
   dedup_hits : int;
   violations : int list;
@@ -15,7 +16,39 @@ type stats = {
 
 let available () = Domain.recommended_domain_count ()
 
-let run ?obs ?(domains = 1) (property : Property.t) cases =
+let run ?obs ?(domains = 1) ?(canonical = false) (property : Property.t) cases =
+  let full_len = Array.length cases in
+  (* Symmetry reduction: group the cases by their canonical form under
+     pid permutation and execute one representative per orbit. Grouping
+     by a canonical member is always sound as a partition (two cases
+     share a key iff one is a relabelling of the other); collapsing
+     {e verdicts} across an orbit additionally assumes the property is
+     pid-symmetric — which is why the mode is opt-in and pinned by the
+     golden equivalence suite rather than assumed. *)
+  let reps, rep_of =
+    if not canonical then (None, [||])
+    else begin
+      let tbl = Hashtbl.create (max 16 full_len) in
+      let rev_reps = ref [] and nreps = ref 0 in
+      let rep_of = Array.make full_len 0 in
+      Array.iteri
+        (fun i c ->
+          let key = Schedule_enum.canonical c in
+          match Hashtbl.find_opt tbl key with
+          | Some r -> rep_of.(i) <- r
+          | None ->
+            let r = !nreps in
+            Hashtbl.add tbl key r;
+            incr nreps;
+            rev_reps := i :: !rev_reps;
+            rep_of.(i) <- r)
+        cases;
+      (Some (Array.of_list (List.rev !rev_reps)), rep_of)
+    end
+  in
+  let cases =
+    match reps with None -> cases | Some r -> Array.map (fun i -> cases.(i)) r
+  in
   let len = Array.length cases in
   let domains = max 1 (min domains 64) in
   let results = Array.make len None in
@@ -113,20 +146,32 @@ let run ?obs ?(domains = 1) (property : Property.t) cases =
       (function Some r -> r | None -> assert false (* every index was claimed *))
       results
   in
+  (* Execution statistics (distinct fingerprints, dedup, simulated
+     states) describe the runs actually performed — the orbit
+     representatives under [canonical]; the verdicts are then scattered
+     to every orbit member so the result array and violation indices
+     stay aligned with the caller's case array either way. *)
   let seen = Hashtbl.create (max 16 len) in
-  let distinct = ref 0 and states = ref 0 and violations = ref [] in
-  Array.iteri
-    (fun i r ->
+  let distinct = ref 0 and states = ref 0 in
+  Array.iter
+    (fun r ->
       if not (Hashtbl.mem seen r.fingerprint) then begin
         Hashtbl.add seen r.fingerprint ();
         incr distinct
       end;
-      states := !states + r.states;
-      if not r.ok then violations := i :: !violations)
+      states := !states + r.states)
     results;
+  let results =
+    match reps with
+    | None -> results
+    | Some _ -> Array.init full_len (fun i -> results.(rep_of.(i)))
+  in
+  let violations = ref [] in
+  Array.iteri (fun i r -> if not r.ok then violations := i :: !violations) results;
   let stats =
     {
-      cases = len;
+      cases = full_len;
+      orbits = len;
       distinct = !distinct;
       dedup_hits = len - !distinct;
       violations = List.rev !violations;
@@ -153,19 +198,27 @@ let run ?obs ?(domains = 1) (property : Property.t) cases =
           per_domain));
   (stats, results)
 
-let runs_per_sec s = if s.elapsed > 0. then float_of_int s.cases /. s.elapsed else 0.
+(* Throughput and dedup are rates over the runs actually executed — the
+   orbit representatives; [orbits = cases] whenever canonicalization is
+   off, so the historic meaning of every gauge is unchanged. *)
+let runs_per_sec s = if s.elapsed > 0. then float_of_int s.orbits /. s.elapsed else 0.
 
 let states_per_sec s =
   if s.elapsed > 0. then float_of_int s.states /. s.elapsed else 0.
 
 let dedup_rate s =
-  if s.cases = 0 then 0. else float_of_int s.dedup_hits /. float_of_int s.cases
+  if s.orbits = 0 then 0. else float_of_int s.dedup_hits /. float_of_int s.orbits
+
+let symmetry_reduction s =
+  if s.orbits = 0 then 1. else float_of_int s.cases /. float_of_int s.orbits
 
 let to_json s =
   let open Ftss_obs.Json in
   Obj
     [
       ("cases", Int s.cases);
+      ("orbits", Int s.orbits);
+      ("symmetry_reduction", Float (symmetry_reduction s));
       ("distinct", Int s.distinct);
       ("dedup_hits", Int s.dedup_hits);
       ("violations", List (List.map (fun i -> Int i) s.violations));
@@ -192,12 +245,16 @@ let to_json s =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "@[<v>runs explored: %d, distinct traces: %d, dedup hits: %d (%.1f%%)@,\
-     states simulated: %d@,\
+    "@[<v>runs explored: %d, distinct traces: %d, dedup hits: %d (%.1f%%)@,"
+    s.cases s.distinct s.dedup_hits
+    (100. *. dedup_rate s);
+  if s.orbits < s.cases then
+    Format.fprintf ppf "orbit representatives: %d (%.2fx symmetry reduction)@,"
+      s.orbits (symmetry_reduction s);
+  Format.fprintf ppf
+    "states simulated: %d@,\
      violations: %d@,\
      elapsed: %.3f s at %d domain%s (%.0f runs/s, %.0f states/s)"
-    s.cases s.distinct s.dedup_hits
-    (100. *. dedup_rate s)
     s.states
     (List.length s.violations)
     s.elapsed s.domains

@@ -23,25 +23,41 @@ type result = { fingerprint : string; ok : bool; detail : string; states : int }
 type domain_stat = { d_cases : int; d_states : int; d_busy : float }
 
 type stats = {
-  cases : int;  (** runs explored *)
-  distinct : int;  (** distinct execution fingerprints *)
-  dedup_hits : int;  (** [cases - distinct] *)
+  cases : int;  (** cases covered (the caller's whole array) *)
+  orbits : int;
+      (** runs actually executed: orbit representatives under
+          [~canonical:true], every case otherwise (then [orbits = cases]) *)
+  distinct : int;  (** distinct execution fingerprints among executed runs *)
+  dedup_hits : int;  (** [orbits - distinct] *)
   violations : int list;  (** failing case indices, ascending *)
-  states : int;  (** total process-round states simulated *)
+  states : int;  (** process-round states simulated by executed runs *)
   elapsed : float;  (** wall-clock seconds *)
   domains : int;
   per_domain : domain_stat array;  (** index 0 is the calling domain *)
 }
 
-(** [run ?obs ~domains property cases] explores every case. [domains]
-    defaults to 1 and is clamped to [1..64]; asking for more domains than
-    cores is legal (merely oversubscribed). The returned [result] array is
-    indexed like [cases].
+(** [run ?obs ~domains ?canonical property cases] explores every case.
+    [domains] defaults to 1 and is clamped to [1..64]; asking for more
+    domains than cores is legal (merely oversubscribed). The returned
+    [result] array is indexed like [cases].
 
-    When [obs] is given, every case emits a [Case_start] and a
+    With [canonical = true] (default false), cases are first grouped by
+    {!Schedule_enum.canonical} — their orbit under pid relabelling — and
+    only one representative per orbit is executed; its verdict is
+    scattered to every member, so the result array and the violation
+    indices remain aligned with [cases] and, for pid-symmetric
+    properties, identical to an uncanonical run's. The grouping itself is
+    always an exact partition into orbits; reusing the {e verdict} across
+    an orbit is what assumes pid symmetry of the property, which is why
+    the mode is opt-in (and pinned against the full enumeration by the
+    golden equivalence suite). [stats.orbits] reports the collapse;
+    [cases /. orbits] is the symmetry-reduction factor.
+
+    When [obs] is given, every executed case emits a [Case_start] and a
     [Case_verdict] event (the [dedup] flag marks hits in the executing
     domain's own verdict cache — an underapproximation of the
-    deterministic [dedup_hits] figure), the work-queue depth at each case
+    deterministic [dedup_hits] figure; under [canonical] the event indices
+    refer to the representative array), the work-queue depth at each case
     lands in the ["explore_queue_depth"] histogram, and the merged
     throughput and per-domain utilization are recorded as gauges. All hub
     access serializes on the hub's own mutex. Per-domain busy time is
@@ -49,6 +65,7 @@ type stats = {
 val run :
   ?obs:Ftss_obs.Obs.t ->
   ?domains:int ->
+  ?canonical:bool ->
   Property.t ->
   Schedule_enum.t array ->
   stats * result array
@@ -59,8 +76,12 @@ val available : unit -> int
 val runs_per_sec : stats -> float
 val states_per_sec : stats -> float
 
-(** Dedup hits as a fraction of all runs, in [0, 1]. *)
+(** Dedup hits as a fraction of executed runs, in [0, 1]. *)
 val dedup_rate : stats -> float
+
+(** [cases /. orbits] — how many enumerated cases each executed run
+    covered; 1.0 without [~canonical:true]. *)
+val symmetry_reduction : stats -> float
 
 (** The stats as one JSON object (throughput and per-domain utilization
     included) — what [ftss check --json] prints. *)

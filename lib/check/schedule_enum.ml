@@ -189,6 +189,74 @@ let crashes t =
 let crash_only t =
   List.for_all (fun (_, b) -> match b with Crash _ -> true | _ -> false) t.behaviors
 
+(* --- Canonicalization under pid permutation --- *)
+
+let behavior_pid_ref = function
+  | Send_drop (_, q) | Recv_drop (_, q) -> Some q
+  | Crash _ | Mute _ | Deaf _ | Isolate _ -> None
+
+let support t =
+  let add acc p = if List.mem p acc then acc else p :: acc in
+  List.sort Int.compare
+    (List.fold_left
+       (fun acc (p, b) ->
+         let acc = add acc p in
+         match behavior_pid_ref b with Some q -> add acc q | None -> acc)
+       [] t.behaviors)
+
+let permute perm t =
+  let behaviors =
+    List.map
+      (fun (p, b) ->
+        let b =
+          match b with
+          | Send_drop (r, q) -> Send_drop (r, perm q)
+          | Recv_drop (r, q) -> Recv_drop (r, perm q)
+          | (Crash _ | Mute _ | Deaf _ | Isolate _) as b -> b
+        in
+        (perm p, b))
+      t.behaviors
+    |> List.sort compare
+  in
+  { t with behaviors }
+
+let rename assoc t = permute (fun p -> match List.assoc_opt p assoc with Some q -> q | None -> p) t
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+    List.concat_map
+      (fun x -> List.map (fun rest -> x :: rest) (permutations (List.filter (fun y -> y <> x) l)))
+      l
+
+(* Orbit-representative support size above which we settle for the
+   rank-relabelled member instead of the lexicographic minimum: both are
+   deterministic members of the case's orbit (so grouping by them never
+   merges distinct orbits), but the factorial search is only worth it
+   while the support is small — which it always is for the fault budgets
+   the checker enumerates (|support| <= 2f). *)
+let exact_support_limit = 8
+
+let canonical t =
+  match support t with
+  | [] -> t
+  | s ->
+    let m = List.length s in
+    let ranked = rename (List.mapi (fun i p -> (p, i)) s) t in
+    if m > exact_support_limit then ranked
+    else
+      (* The support now occupies pids 0..m-1; minimize over its m!
+         internal permutations. Any full-universe permutation decomposes
+         into (map support into 0..m-1) ∘ (permute within 0..m-1), so the
+         minimum over this subgroup is the minimum over the orbit. *)
+      List.fold_left
+        (fun best perm ->
+          let img = Array.of_list perm in
+          let candidate = permute (fun p -> if p < m then img.(p) else p) ranked in
+          if compare candidate best < 0 then candidate else best)
+        ranked
+        (permutations (List.init m Fun.id))
+
 let behavior_size ~rounds = function
   | Crash r -> rounds - r + 1
   | Mute (a, b) | Deaf (a, b) -> b - a + 1

@@ -108,6 +108,33 @@ val crashes : t -> (Pid.t * int) list
 (** [crash_only t] is true iff every behaviour is a [Crash]. *)
 val crash_only : t -> bool
 
+(** {2 Canonicalization under pid permutation}
+
+    Relabelling processes maps a case to an adversarially equivalent one:
+    the corruption classes are permutation-closed and a schedule's
+    behaviours mention pids only as labels. {!canonical} picks one
+    deterministic representative of each such orbit, so an explorer can
+    collapse permutation-symmetric adversaries instead of enumerating
+    them (sound for properties whose verdict is invariant under pid
+    relabelling — the golden equivalence suite pins this for the
+    corpora the checker gates on). *)
+
+(** The pids a case mentions — behaviour owners plus the peers of point
+    drops — ascending. At most [2f] of them. *)
+val support : t -> Pid.t list
+
+(** [permute perm t] relabels every pid mention through [perm] (which
+    must be injective on the support and stay within [0..n-1]),
+    re-sorting behaviours into owner order. *)
+val permute : (Pid.t -> Pid.t) -> t -> t
+
+(** The orbit representative: the support is packed onto pids
+    [0..m-1] and, for supports of at most 8 pids (always, at the
+    enumerated fault budgets), the structurally least case over all [m!]
+    relabellings is chosen. Two cases have equal canonical forms iff one
+    is a pid permutation of the other; [canonical] is idempotent. *)
+val canonical : t -> t
+
 (** {2 Sizes (the shrinking order)} *)
 
 (** Rounds of misbehaviour a behaviour schedules: a crash at round [r]

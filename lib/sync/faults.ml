@@ -35,7 +35,14 @@ let drops t ~round ~src ~dst =
 (* Precompiled drop tables: one bitmask row per round. [drops] above is
    the reference semantics; the runner asks for the whole horizon up
    front so its inner delivery loop does integer tests instead of
-   [Hashtbl.mem] plus two [List.exists] interval scans per link. *)
+   [Hashtbl.mem] plus two [List.exists] interval scans per link.
+
+   Two row layouts, chosen by system size: up to 62 processes a row is a
+   single int (the historic fast path, one shift-and-test per query);
+   beyond that each row is a run of 32-bit words, still a few integer
+   instructions per query. The 32-bit packing is private to this module
+   and unrelated to [Pidset]'s layout — it exists so word and bit indices
+   are shifts and masks rather than divisions. *)
 type table =
   | All_quiet  (* no omission scheduled anywhere in the horizon *)
   | Rows of {
@@ -45,19 +52,25 @@ type table =
       point : int array;  (* round * tn + src -> bitmask of dsts point-dropped *)
       quiet : bool array;  (* round -> no drop of any kind scheduled *)
     }
+  | Wide_rows of {
+      tn : int;
+      words : int;  (* 32-bit words per pid row: (tn + 31) / 32 *)
+      muted : int array;  (* (round * words + p lsr 5) bit (p land 31) *)
+      deafened : int array;
+      point : int array;  (* ((round * tn + src) * words + dst lsr 5) *)
+      quiet : bool array;
+    }
+
+let one_word_cap = Pidset.max_small + 1
 
 let precompile t ~rounds =
   if rounds < 0 then invalid_arg "Faults.precompile: negative rounds";
-  if t.n > Pidset.max_pid + 1 then
-    invalid_arg
-      (Printf.sprintf "Faults.precompile: n %d exceeds the %d-process bitmask cap" t.n
-         (Pidset.max_pid + 1));
   if
     Hashtbl.length t.point_drops = 0
     && Array.for_all (fun l -> l = []) t.mute
     && Array.for_all (fun l -> l = []) t.deaf
   then All_quiet (* crash-only and failure-free schedules skip the rows *)
-  else begin
+  else if t.n <= one_word_cap then begin
     let muted = Array.make (rounds + 1) 0 in
     let deafened = Array.make (rounds + 1) 0 in
     let point = Array.make ((rounds + 1) * max 1 t.n) 0 in
@@ -85,9 +98,44 @@ let precompile t ~rounds =
       t.point_drops;
     Rows { tn = t.n; muted; deafened; point; quiet }
   end
+  else begin
+    let words = (t.n + 31) / 32 in
+    let muted = Array.make ((rounds + 1) * words) 0 in
+    let deafened = Array.make ((rounds + 1) * words) 0 in
+    let point = Array.make ((rounds + 1) * t.n * words) 0 in
+    let quiet = Array.make (rounds + 1) true in
+    let set arr row p =
+      let i = (row * words) + (p lsr 5) in
+      arr.(i) <- arr.(i) lor (1 lsl (p land 31))
+    in
+    for p = 0 to t.n - 1 do
+      let mark arr intervals =
+        List.iter
+          (fun (first, last) ->
+            for r = max 1 first to min last rounds do
+              set arr r p;
+              quiet.(r) <- false
+            done)
+          intervals
+      in
+      mark muted t.mute.(p);
+      mark deafened t.deaf.(p)
+    done;
+    Hashtbl.iter
+      (fun (round, src, dst) () ->
+        if 1 <= round && round <= rounds then begin
+          set point ((round * t.n) + src) dst;
+          quiet.(round) <- false
+        end)
+      t.point_drops;
+    Wide_rows { tn = t.n; words; muted; deafened; point; quiet }
+  end
 
 let quiet_round tbl ~round =
-  match tbl with All_quiet -> true | Rows r -> r.quiet.(round)
+  match tbl with
+  | All_quiet -> true
+  | Rows r -> r.quiet.(round)
+  | Wide_rows r -> r.quiet.(round)
 
 let table_drops tbl ~round ~src ~dst =
   match tbl with
@@ -97,6 +145,14 @@ let table_drops tbl ~round ~src ~dst =
     && ((r.muted.(round) lsr src) land 1)
        lor ((r.deafened.(round) lsr dst) land 1)
        lor ((r.point.((round * r.tn) + src) lsr dst) land 1)
+       <> 0
+  | Wide_rows r ->
+    src <> dst
+    && ((r.muted.((round * r.words) + (src lsr 5)) lsr (src land 31)) land 1)
+       lor ((r.deafened.((round * r.words) + (dst lsr 5)) lsr (dst land 31)) land 1)
+       lor
+       ((r.point.((((round * r.tn) + src) * r.words) + (dst lsr 5)) lsr (dst land 31))
+       land 1)
        <> 0
 
 let none n =

@@ -63,8 +63,9 @@ val drops : t -> round:int -> src:Pid.t -> dst:Pid.t -> bool
 type table
 
 (** [precompile t ~rounds] builds the O(1) drop table for rounds
-    [1..rounds]. Raises [Invalid_argument] if [rounds < 0] or the system
-    exceeds the 62-process bitmask cap (see {!Pidset.max_pid}). *)
+    [1..rounds]. Raises [Invalid_argument] if [rounds < 0]. Systems of up
+    to 62 processes get single-int rows (the historic fast path); larger
+    systems get multi-word rows, still a few integer tests per query. *)
 val precompile : t -> rounds:int -> table
 
 (** [table_drops tbl ~round ~src ~dst] — as {!drops}, in O(1); [round]

@@ -1,15 +1,27 @@
-(** Sets of process identifiers, represented as a single int bitmask.
+(** Sets of process identifiers — width-polymorphic immutable bitsets.
 
-    Bit [p] of the representation is set iff pid [p] is in the set, so the
-    supported universe is [0 .. 61] (62 pids fit comfortably in OCaml's
-    63-bit native int, with a bit to spare). Every constructor that would
-    insert a pid outside that range raises [Invalid_argument]; membership
-    queries for out-of-range pids simply answer [false]. Within the cap,
-    [union], [inter], [diff], [subset], [mem], [equal] and [disjoint] are
-    single machine instructions and [cardinal] is a popcount — the whole
-    point: these sets sit on the simulator's per-delivery hot path
-    (suspect bookkeeping in the compiler, sender sets in the consensus
-    protocols, [Faults.correct]).
+    Two representations live behind this interface, selected per set:
+
+    - sets whose elements all fit in [0 .. 61] are a single immediate
+      integer bitmask (bit [p] set iff pid [p] is in the set) — the
+      one-word fast path, on which [union], [inter], [diff], [subset],
+      [mem], [equal] and [disjoint] are a tag test plus one integer
+      instruction and [cardinal] is a popcount;
+    - sets reaching beyond pid 61 are an immutable int array of 62-bit
+      words, processed word-at-a-time.
+
+    The representation is canonical — a set that fits one word is always
+    the immediate integer — so structural equality, ordering, hashing and
+    marshalling agree with {!equal}/{!compare} across both forms, and
+    every value that existed under the historic 62-process cap is
+    bit-identical to what this module builds today (committed trace
+    fingerprints for n <= 61 are preserved).
+
+    Constructors accept any pid in [0 .. max_pid] and raise
+    [Invalid_argument] outside it; membership queries for out-of-range
+    pids simply answer [false], in either representation. These sets sit
+    on the simulator's per-delivery hot path (suspect bookkeeping in the
+    compiler, sender sets in the consensus protocols, [Faults.correct]).
 
     The interface mirrors the slice of [Set.S] the repository uses;
     iteration orders ([iter], [fold], [elements], [to_list]) are ascending
@@ -18,19 +30,29 @@
 type elt = Pid.t
 type t
 
-(** Largest representable pid: 61. [add], [singleton], [of_list],
-    [of_pred] and [full] raise [Invalid_argument] beyond it. *)
+(** Largest pid of the one-word representation: 61. Sets within
+    [0 .. max_small] never allocate. *)
+val max_small : int
+
+(** Largest accepted pid (a sanity bound, not a representation limit):
+    [add], [singleton], [of_list], [of_pred] and [full] raise
+    [Invalid_argument] beyond it, in either representation. *)
 val max_pid : int
 
 val empty : t
 val is_empty : t -> bool
 
-(** [mem p s] — [false] (never an exception) for pids outside [0..max_pid]. *)
+(** [mem p s] — [false] (never an exception) for any pid outside the
+    set's universe, including negatives and pids beyond [max_pid]. *)
 val mem : elt -> t -> bool
 
 val add : elt -> t -> t
 val singleton : elt -> t
+
+(** [remove p s] is the identity for out-of-range [p], never an
+    exception. *)
 val remove : elt -> t -> t
+
 val union : t -> t -> t
 val inter : t -> t -> t
 
@@ -41,7 +63,8 @@ val cardinal : t -> int
 val equal : t -> t -> bool
 
 (** A total order on sets (consistent with [equal]; not necessarily the
-    [Set.Make] lexicographic order, which nothing in the repo relies on). *)
+    [Set.Make] lexicographic order, which nothing in the repo relies on).
+    On one-word sets it coincides with the integer order of the masks. *)
 val compare : t -> t -> int
 
 val subset : t -> t -> bool
@@ -61,8 +84,11 @@ val choose_opt : t -> elt option
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 
-(** [of_pred n pred] is the set of pids in [0 .. n-1] satisfying [pred]. *)
+(** [of_pred n pred] is the set of pids in [0 .. n-1] satisfying [pred].
+    Raises [Invalid_argument] unless [0 <= n <= max_pid + 1], whichever
+    representation the result needs. *)
 val of_pred : int -> (Pid.t -> bool) -> t
 
-(** [full n] is the set of all [n] pids. *)
+(** [full n] is the set of all [n] pids. Raises [Invalid_argument]
+    unless [0 <= n <= max_pid + 1]. *)
 val full : int -> t

@@ -244,6 +244,96 @@ let test_golden_explorer_verdicts () =
   check_int "t4 distinct" 755 stats.Explore.distinct;
   check_int "t4 violations" 0 (List.length stats.Explore.violations)
 
+(* --- Canonicalization under pid permutation: the orbit representative
+   is well-defined (idempotent, invariant under relabelling the input)
+   and the canonical explorer reproduces the uncanonical verdicts
+   exactly over the golden corpus. --- *)
+
+(* The n! permutations of {0..n-1}, small n only. *)
+let all_permutations n =
+  let rec perms = function
+    | [] -> [ [] ]
+    | l ->
+      List.concat_map
+        (fun x -> List.map (fun r -> x :: r) (perms (List.filter (( <> ) x) l)))
+        l
+  in
+  perms (List.init n Fun.id)
+
+let test_canonical_well_defined () =
+  let params = full 3 3 1 in
+  let cases = Schedule_enum.enumerate params in
+  let perms =
+    List.map (fun l -> let a = Array.of_list l in fun p -> a.(p)) (all_permutations 3)
+  in
+  Array.iter
+    (fun case ->
+      let c = Schedule_enum.canonical case in
+      (* Idempotent. *)
+      check "canonical is idempotent" true (Schedule_enum.canonical c = c);
+      (* Params and corruption class are untouched (corruption classes
+         are permutation-invariant as classes). *)
+      check "params preserved" true (c.Schedule_enum.params = params);
+      check "corruption preserved" true
+        (c.Schedule_enum.corruption = case.Schedule_enum.corruption);
+      (* Invariant across the whole orbit: every relabelling of the case
+         canonicalizes to the same representative. *)
+      List.iter
+        (fun perm ->
+          check "orbit members share their canonical form" true
+            (Schedule_enum.canonical (Schedule_enum.permute perm case) = c))
+        perms;
+      (* The representative's support is packed onto an initial segment. *)
+      let s = Schedule_enum.support c in
+      check "support packed onto 0..m-1" true (s = List.init (List.length s) Fun.id))
+    cases
+
+let test_support_and_permute () =
+  let case =
+    {
+      Schedule_enum.params = full 5 3 2;
+      behaviors =
+        [ (1, Schedule_enum.Recv_drop (2, 4)); (3, Schedule_enum.Crash 1) ];
+      corruption = Schedule_enum.Clean;
+    }
+  in
+  Alcotest.(check (list int)) "support = owners + drop peers" [ 1; 3; 4 ]
+    (Schedule_enum.support case);
+  let swapped = Schedule_enum.permute (fun p -> if p = 1 then 3 else if p = 3 then 1 else p) case in
+  Alcotest.(check (list int)) "permuted support" [ 1; 3; 4 ]
+    (Schedule_enum.support swapped);
+  check "behaviors re-sorted by owner" true
+    (swapped.Schedule_enum.behaviors
+    = [ (1, Schedule_enum.Crash 1); (3, Schedule_enum.Recv_drop (2, 4)) ])
+
+let test_golden_canonical_equivalence () =
+  (* The acceptance gate: over the 500-case golden corpus the canonical
+     explorer must reproduce the uncanonical verdicts exactly — same 82
+     violations at the same indices — while executing strictly fewer
+     runs. *)
+  let prop = theorem3 ~inject:"frozen-exchange" in
+  let cases = Schedule_enum.enumerate (full 3 3 1) in
+  let stats, results = Explore.run ~domains:1 prop cases in
+  let cstats, cresults = Explore.run ~domains:1 ~canonical:true prop cases in
+  check_int "same corpus size" stats.Explore.cases cstats.Explore.cases;
+  Alcotest.(check (list int)) "identical violation indices"
+    stats.Explore.violations cstats.Explore.violations;
+  Alcotest.(check string) "violation indices digest"
+    "a6103c173e5435d3a49ff3fb4a50607e"
+    (md5 (String.concat "," (List.map string_of_int cstats.Explore.violations)));
+  Array.iteri
+    (fun i (r : Explore.result) ->
+      check "per-case verdict identical" true (r.Explore.ok = cresults.(i).Explore.ok))
+    results;
+  (* The collapse is real and pinned: 500 cases fall into 140 orbits. *)
+  check_int "uncanonical executes every case" 500 stats.Explore.orbits;
+  check_int "orbit count" 140 cstats.Explore.orbits;
+  check "reduction factor > 1" true (Explore.symmetry_reduction cstats > 1.);
+  (* theorem4 breaks pid symmetry (propose p = 50 + p), so its verdicts
+     must come from the full enumeration — document by construction that
+     canonical mode is an opt-in for symmetric properties only. *)
+  ()
+
 (* --- The content hash partitions executions exactly as the structural
    Marshal digest it replaced: over a corpus of runner executions, two
    traces share a [Trace.hash] iff their marshalled representations are
@@ -343,6 +433,11 @@ let suite =
         tc "replay rejects malformed input" `Quick test_replay_rejects_malformed;
         tc "replayed counterexample reproduces" `Quick test_replay_reproduces;
         tc "golden: explorer verdicts" `Quick test_golden_explorer_verdicts;
+        tc "canonical form well-defined over the corpus" `Quick
+          test_canonical_well_defined;
+        tc "support and permute" `Quick test_support_and_permute;
+        tc "golden: canonical explorer = full enumeration" `Quick
+          test_golden_canonical_equivalence;
         tc "hash partition = marshal partition (adversary corpus)" `Quick
           test_hash_partition_over_adversary_corpus;
         tc "hash partition = marshal partition (mid-run corruption)" `Quick

@@ -362,6 +362,104 @@ let test_golden_gossip () =
     "1,0,2;2,3,0;2,3,1;2,3,2;2,0,3;2,1,3;2,2,3;3,3,0;3,3,1;3,3,2;3,0,3;3,1,3;3,2,3;4,3,0;4,3,1;4,3,2;4,0,3;4,1,3;4,2,3"
     (omissions_string t)
 
+(* --- Faults across the table-representation switch: [precompile]
+   emits single-int rows up to 62 processes and multi-word rows beyond;
+   the two must be observationally identical to the query path. --- *)
+
+let faults_at_width n =
+  let rounds = 5 in
+  List.for_all
+    (fun seed ->
+      let rng = Rng.create seed in
+      let t = Faults.random_omission rng ~n ~f:3 ~p_drop:0.5 ~rounds in
+      let faulty = Faults.faulty t and correct = Faults.correct t in
+      (* correct is exactly the complement of faulty in the universe. *)
+      Pidset.equal correct (Pidset.diff (Pidset.full n) faulty)
+      && Pidset.cardinal correct + Pidset.cardinal faulty = n
+      && Pidset.disjoint correct faulty
+      && (let tbl = Faults.precompile t ~rounds in
+          (* Differential: the table agrees with the query path on every
+             link with a faulty endpoint (the only links that can drop)
+             and on a stride of correct-correct links. *)
+          let agree ~round ~src ~dst =
+            Faults.table_drops tbl ~round ~src ~dst
+            = Faults.drops t ~round ~src ~dst
+          in
+          let ok = ref true in
+          for round = 1 to rounds do
+            Pidset.iter
+              (fun p ->
+                List.iter
+                  (fun q ->
+                    if not (agree ~round ~src:p ~dst:q) then ok := false;
+                    if not (agree ~round ~src:q ~dst:p) then ok := false)
+                  (Pid.all n))
+              faulty;
+            (* quiet_round iff no query in the round drops. *)
+            let any = ref false in
+            Pidset.iter
+              (fun p ->
+                List.iter
+                  (fun q ->
+                    if
+                      Faults.drops t ~round ~src:p ~dst:q
+                      || Faults.drops t ~round ~src:q ~dst:p
+                    then any := true)
+                  (Pid.all n))
+              faulty;
+            if Faults.quiet_round tbl ~round <> not !any then ok := false
+          done;
+          !ok))
+    [ 7; 21; 908 ]
+
+let test_faults_widths () =
+  List.iter
+    (fun n ->
+      check (Printf.sprintf "faults tables at n=%d" n) true (faults_at_width n))
+    [ 61; 62; 63; 200 ]
+
+(* --- Trace.hash pins: values captured from the pre-width-overhaul
+   engine (one-word Pidset, single-int fault rows). The width-polymorphic
+   Pidset keeps small sets as immediate ints precisely so that these
+   structural hashes — and with them every golden digest downstream —
+   are bit-identical for all n <= 61 universes and for one-word-sized
+   sets inside larger ones. --- *)
+
+let test_trace_hash_pins () =
+  let open Ftss_core in
+  let pin name expected h =
+    Alcotest.(check string) name (Printf.sprintf "0x%x" expected) (Printf.sprintf "0x%x" h)
+  in
+  List.iter
+    (fun (n, expected) ->
+      let t = Runner.run ~faults:(Faults.none n) ~rounds:4 Round_agreement.protocol in
+      pin (Printf.sprintf "round agreement n=%d clean" n) expected (Trace.hash t))
+    [
+      (3, 0x1d8b35108af0f0f);
+      (16, 0x27648fb334272661);
+      (61, 0xdac479ff9991004);
+      (62, 0x2a88eb15526b05c6);
+    ];
+  let faults =
+    Faults.of_events ~n:5
+      [
+        Faults.Crash { pid = 1; round = 2 };
+        Faults.Mute { pid = 3; first = 1; last = 2 };
+        Faults.Drop { src = 0; dst = 2; round = 1 };
+      ]
+  in
+  let t =
+    Runner.run
+      ~corrupt:(fun p c -> c + (97 * (p + 1)))
+      ~faults ~rounds:5 Round_agreement.protocol
+  in
+  pin "round agreement n=5 corrupt+faults" 0xea8038d455e64d4 (Trace.hash t);
+  let n = 4 in
+  let pi = Ftss_protocols.Omission_consensus.make ~n ~f:1 ~propose:(fun p -> 50 + p) in
+  let compiled = Compiler.compile ~n pi in
+  let t = Runner.run ~faults:(Faults.none n) ~rounds:6 compiled in
+  pin "compiled consensus n=4 clean" 0x265eb86be14ed56c (Trace.hash t)
+
 let suite =
   let tc = Alcotest.test_case in
   [
@@ -391,6 +489,9 @@ let suite =
         tc "pp_rounds renders" `Quick test_pp_rounds_renders;
         tc "golden: counter under crash+drops" `Quick test_golden_counter;
         tc "golden: gossip under isolation" `Quick test_golden_gossip;
+        tc "faults tables across the width switch" `Quick test_faults_widths;
+        tc "golden: Trace.hash pinned across the Pidset overhaul" `Quick
+          test_trace_hash_pins;
         QCheck_alcotest.to_alcotest prop_failure_free_counter_lockstep;
         QCheck_alcotest.to_alcotest prop_gossip_monotone;
       ] );

@@ -100,82 +100,168 @@ let test_table_renders () =
   check "contains cell" true
     (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0))
 
-(* --- Bitset Pidset: boundary behaviour and differential testing
-   against the reference [Set.Make (Pid)] it replaced. --- *)
+(* --- Width-polymorphic Pidset: boundary behaviour across the one-word /
+   multi-word representation switch, and differential testing against
+   the reference [Set.Make (Pid)]. --- *)
 
 module Pidref = Set.Make (Pid)
 
 let test_pidset_boundaries () =
-  check_int "max_pid is 61" 61 Pidset.max_pid;
-  let top = Pidset.singleton Pidset.max_pid in
+  check_int "one-word cap is 61" 61 Pidset.max_small;
+  let top = Pidset.singleton Pidset.max_small in
   check "pid 61 representable" true (Pidset.mem 61 top);
-  check_int "full at the cap" 62 (Pidset.cardinal (Pidset.full 62));
-  check_int "of_pred at the cap" 31
+  check_int "full at the word cap" 62 (Pidset.cardinal (Pidset.full 62));
+  check_int "of_pred at the word cap" 31
     (Pidset.cardinal (Pidset.of_pred 62 (fun p -> p mod 2 = 0)));
-  let oob = Invalid_argument "Pidset: pid 62 outside 0..61" in
-  Alcotest.check_raises "add beyond cap" oob (fun () ->
-      ignore (Pidset.add 62 Pidset.empty));
-  Alcotest.check_raises "singleton beyond cap" oob (fun () ->
-      ignore (Pidset.singleton 62));
-  Alcotest.check_raises "of_list beyond cap" oob (fun () ->
-      ignore (Pidset.of_list [ 0; 62 ]));
-  Alcotest.check_raises "negative pid"
-    (Invalid_argument "Pidset: pid -1 outside 0..61") (fun () ->
+  (* The historic one-word wall is gone: pid 62 and beyond now live in
+     the multi-word representation. *)
+  check "pid 62 representable" true (Pidset.mem 62 (Pidset.singleton 62));
+  check_int "full beyond the word cap" 63 (Pidset.cardinal (Pidset.full 63));
+  check_int "full at n=200" 200 (Pidset.cardinal (Pidset.full 200));
+  check "of_list spanning the boundary" true
+    (Pidset.equal (Pidset.of_list [ 0; 61; 62; 199 ])
+       (Pidset.add 199 (Pidset.add 62 (Pidset.add 61 (Pidset.singleton 0)))));
+  (* Out-of-range elements are rejected uniformly at the sanity bound. *)
+  let oob p =
+    Invalid_argument (Printf.sprintf "Pidset: pid %d outside 0..%d" p Pidset.max_pid)
+  in
+  Alcotest.check_raises "add beyond the sanity bound" (oob (Pidset.max_pid + 1))
+    (fun () -> ignore (Pidset.add (Pidset.max_pid + 1) Pidset.empty));
+  Alcotest.check_raises "singleton beyond the sanity bound" (oob (Pidset.max_pid + 1))
+    (fun () -> ignore (Pidset.singleton (Pidset.max_pid + 1)));
+  Alcotest.check_raises "negative pid" (oob (-1)) (fun () ->
       ignore (Pidset.add (-1) Pidset.empty));
-  Alcotest.check_raises "of_pred beyond cap"
-    (Invalid_argument "Pidset.of_pred: n 63 outside 0..62") (fun () ->
-      ignore (Pidset.of_pred 63 (fun _ -> true)));
-  Alcotest.check_raises "full beyond cap"
-    (Invalid_argument "Pidset.full: n 63 outside 0..62") (fun () ->
-      ignore (Pidset.full 63));
-  (* Queries never raise out of range. *)
-  check "mem out of range is false" false (Pidset.mem 99 (Pidset.full 62));
-  check "mem negative is false" false (Pidset.mem (-5) (Pidset.full 62));
-  check "remove out of range is identity" true
-    (Pidset.equal (Pidset.full 62) (Pidset.remove 99 (Pidset.full 62)))
+  Alcotest.check_raises "of_pred beyond the sanity bound"
+    (Invalid_argument
+       (Printf.sprintf "Pidset.of_pred: n %d outside 0..%d" (Pidset.max_pid + 2)
+          (Pidset.max_pid + 1)))
+    (fun () -> ignore (Pidset.of_pred (Pidset.max_pid + 2) (fun _ -> true)));
+  Alcotest.check_raises "of_pred negative"
+    (Invalid_argument
+       (Printf.sprintf "Pidset.of_pred: n -1 outside 0..%d" (Pidset.max_pid + 1)))
+    (fun () -> ignore (Pidset.of_pred (-1) (fun _ -> true)));
+  Alcotest.check_raises "full beyond the sanity bound"
+    (Invalid_argument
+       (Printf.sprintf "Pidset.full: n %d outside 0..%d" (Pidset.max_pid + 2)
+          (Pidset.max_pid + 1)))
+    (fun () -> ignore (Pidset.full (Pidset.max_pid + 2)));
+  (* Queries never raise out of range — in either representation. *)
+  check "mem out of range is false (one-word)" false
+    (Pidset.mem 99 (Pidset.full 62));
+  check "mem negative is false (one-word)" false
+    (Pidset.mem (-5) (Pidset.full 62));
+  check "mem out of range is false (multi-word)" false
+    (Pidset.mem 4096 (Pidset.full 200));
+  check "mem huge is false (multi-word)" false
+    (Pidset.mem max_int (Pidset.full 200));
+  check "mem negative is false (multi-word)" false
+    (Pidset.mem (-5) (Pidset.full 200));
+  check "remove out of range is identity (one-word)" true
+    (Pidset.equal (Pidset.full 62) (Pidset.remove 99 (Pidset.full 62)));
+  check "remove out of range is identity (multi-word)" true
+    (Pidset.equal (Pidset.full 200) (Pidset.remove 4096 (Pidset.full 200)));
+  (* Canonical form: a wide set shrunk back under the word cap is
+     structurally equal to the set built narrow — the invariant that
+     keeps [Stdlib.compare], hashing and trace fingerprints stable. *)
+  let shrunk = Pidset.remove 199 (Pidset.add 199 (Pidset.of_list [ 1; 40; 61 ])) in
+  check "shrinking re-canonicalizes" true
+    (shrunk = Pidset.of_list [ 1; 40; 61 ]);
+  check "diff re-canonicalizes" true
+    (Pidset.diff (Pidset.full 200) (Pidset.of_pred 200 (fun p -> p >= 10))
+    = Pidset.full 10);
+  check "inter re-canonicalizes" true
+    (Pidset.inter (Pidset.full 200) (Pidset.full 7) = Pidset.full 7)
 
-let prop_pidset_matches_reference =
-  let pid_list = QCheck.(list_of_size Gen.(0 -- 40) (int_bound Pidset.max_pid)) in
-  QCheck.Test.make ~name:"bitset Pidset agrees with Set.Make (Pid) on every operation"
-    ~count:500
+(* One differential pass of every Pidset operation against the reference
+   set implementation, over elements drawn from [0..n-1]. Instantiated
+   at the widths bracketing the representation switch (61, 62, 63) and
+   deep into multi-word territory (200). *)
+let pidset_vs_reference ~n (xs, ys) =
+  let clamp = List.filter (fun p -> p < n) in
+  let xs = clamp xs and ys = clamp ys in
+  let b = Pidset.of_list xs and b' = Pidset.of_list ys in
+  let r = Pidref.of_list xs and r' = Pidref.of_list ys in
+  let same s m = Pidset.elements s = Pidref.elements m in
+  let even p = p mod 2 = 0 in
+  let top = n - 1 in
+  same b r && same b' r'
+  && same (Pidset.union b b') (Pidref.union r r')
+  && same (Pidset.inter b b') (Pidref.inter r r')
+  && same (Pidset.diff b b') (Pidref.diff r r')
+  && same (Pidset.add 17 b) (Pidref.add 17 r)
+  && same (Pidset.remove 17 b) (Pidref.remove 17 r)
+  && same (Pidset.add top b) (Pidref.add top r)
+  && same (Pidset.remove top b) (Pidref.remove top r)
+  && same (Pidset.singleton top) (Pidref.singleton top)
+  && same (Pidset.filter even b) (Pidref.filter even r)
+  && Pidset.is_empty b = Pidref.is_empty r
+  && Pidset.cardinal b = Pidref.cardinal r
+  && Pidset.equal b b' = Pidref.equal r r'
+  (* [Pidset.compare] promises only a total order consistent with
+     [equal], so compare the zero/non-zero outcome, not the sign. *)
+  && (Pidset.compare b b' = 0) = (Pidref.compare r r' = 0)
+  && Pidset.subset b b' = Pidref.subset r r'
+  && Pidset.disjoint b b' = Pidref.disjoint r r'
+  && List.for_all (fun p -> Pidset.mem p b = Pidref.mem p r) (Pid.all n)
+  && Pidset.to_list b = Pidref.to_list r
+  && (let acc = ref [] in
+      Pidset.iter (fun p -> acc := p :: !acc) b;
+      !acc = Pidref.fold (fun p acc -> p :: acc) r [])
+  && Pidset.fold (fun p acc -> p :: acc) b []
+     = Pidref.fold (fun p acc -> p :: acc) r []
+  && Pidset.for_all even b = Pidref.for_all even r
+  && Pidset.exists even b = Pidref.exists even r
+  && Pidset.min_elt_opt b = Pidref.min_elt_opt r
+  && Pidset.max_elt_opt b = Pidref.max_elt_opt r
+  (* [Set.choose_opt] picks an unspecified element; only demand that
+     ours is a member of the same set. *)
+  && (match Pidset.choose_opt b with
+     | None -> Pidref.is_empty r
+     | Some p -> Pidref.mem p r)
+
+let prop_pidset_matches_reference ~n =
+  let pid_list = QCheck.(list_of_size Gen.(0 -- 40) (int_bound (n - 1))) in
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "Pidset agrees with Set.Make (Pid) on every operation at n=%d" n)
+    ~count:300
     QCheck.(pair pid_list pid_list)
-    (fun (xs, ys) ->
-      let b = Pidset.of_list xs and b' = Pidset.of_list ys in
-      let r = Pidref.of_list xs and r' = Pidref.of_list ys in
-      let same s m = Pidset.elements s = Pidref.elements m in
-      let even p = p mod 2 = 0 in
-      same b r && same b' r'
-      && same (Pidset.union b b') (Pidref.union r r')
-      && same (Pidset.inter b b') (Pidref.inter r r')
-      && same (Pidset.diff b b') (Pidref.diff r r')
-      && same (Pidset.add 17 b) (Pidref.add 17 r)
-      && same (Pidset.remove 17 b) (Pidref.remove 17 r)
-      && same (Pidset.singleton 61) (Pidref.singleton 61)
-      && same (Pidset.filter even b) (Pidref.filter even r)
-      && Pidset.is_empty b = Pidref.is_empty r
-      && Pidset.cardinal b = Pidref.cardinal r
-      && Pidset.equal b b' = Pidref.equal r r'
-      (* [Pidset.compare] promises only a total order consistent with
-         [equal], so compare the zero/non-zero outcome, not the sign. *)
-      && (Pidset.compare b b' = 0) = (Pidref.compare r r' = 0)
-      && Pidset.subset b b' = Pidref.subset r r'
-      && Pidset.disjoint b b' = Pidref.disjoint r r'
-      && List.for_all (fun p -> Pidset.mem p b = Pidref.mem p r) (Pid.all 62)
-      && Pidset.to_list b = Pidref.to_list r
-      && (let acc = ref [] in
-          Pidset.iter (fun p -> acc := p :: !acc) b;
-          !acc = Pidref.fold (fun p acc -> p :: acc) r [])
-      && Pidset.fold (fun p acc -> p :: acc) b []
-         = Pidref.fold (fun p acc -> p :: acc) r []
-      && Pidset.for_all even b = Pidref.for_all even r
-      && Pidset.exists even b = Pidref.exists even r
-      && Pidset.min_elt_opt b = Pidref.min_elt_opt r
-      && Pidset.max_elt_opt b = Pidref.max_elt_opt r
-      (* [Set.choose_opt] picks an unspecified element; only demand that
-         ours is a member of the same set. *)
-      && (match Pidset.choose_opt b with
-         | None -> Pidref.is_empty r
-         | Some p -> Pidref.mem p r))
+    (pidset_vs_reference ~n)
+
+(* Mixed-width differential pass: one operand below the representation
+   switch, the other above, so every cross-representation branch of
+   union/inter/diff/subset/disjoint/compare is exercised. *)
+let prop_pidset_mixed_widths =
+  let narrow = QCheck.(list_of_size Gen.(0 -- 20) (int_bound 61)) in
+  let wide = QCheck.(list_of_size Gen.(0 -- 40) (int_bound 199)) in
+  QCheck.Test.make
+    ~name:"Pidset agrees with the reference across mixed representations"
+    ~count:300
+    QCheck.(pair narrow wide)
+    (pidset_vs_reference ~n:200)
+
+(* Pidmap keyed by pids on either side of the Pidset representation
+   switch: the map itself is width-free, but the protocols pair it with
+   Pidset universes, so pin the interop at each width. *)
+let pidmap_at_width n =
+  let m = Pidmap.init n (fun p -> p * p) in
+  Pidmap.cardinal m = n
+  && Pidmap.find (n - 1) m = (n - 1) * (n - 1)
+  && Pidmap.find_opt n m = None
+  && (let keys = Pidmap.fold (fun k _ acc -> k :: acc) m [] in
+      List.rev keys = Pid.all n)
+  && (let evens = Pidmap.filter (fun k _ -> k mod 2 = 0) m in
+      Pidmap.cardinal evens = (n + 1) / 2)
+  && (* round-trip through the set of keys *)
+  Pidset.equal
+    (Pidset.of_list (List.map fst (Pidmap.bindings m)))
+    (Pidset.full n)
+
+let test_pidmap_widths () =
+  List.iter
+    (fun n ->
+      check (Printf.sprintf "pidmap interop at n=%d" n) true (pidmap_at_width n))
+    [ 61; 62; 63; 200 ]
 
 (* Property tests. *)
 
@@ -204,8 +290,13 @@ let suite =
         tc "pid.all and validity" `Quick test_pid_all;
         tc "pidset helpers" `Quick test_pidset_helpers;
         tc "pidset bitset boundaries" `Quick test_pidset_boundaries;
-        QCheck_alcotest.to_alcotest prop_pidset_matches_reference;
+        QCheck_alcotest.to_alcotest (prop_pidset_matches_reference ~n:61);
+        QCheck_alcotest.to_alcotest (prop_pidset_matches_reference ~n:62);
+        QCheck_alcotest.to_alcotest (prop_pidset_matches_reference ~n:63);
+        QCheck_alcotest.to_alcotest (prop_pidset_matches_reference ~n:200);
+        QCheck_alcotest.to_alcotest prop_pidset_mixed_widths;
         tc "pidmap init" `Quick test_pidmap_init;
+        tc "pidmap widths across the representation switch" `Quick test_pidmap_widths;
         tc "rng determinism" `Quick test_rng_determinism;
         tc "rng copy" `Quick test_rng_copy_independent;
         tc "rng split" `Quick test_rng_split;
