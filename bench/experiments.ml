@@ -1418,9 +1418,282 @@ let e16 m =
     shard_runs;
   Table.print table
 
+(* ------------------------------------------------------------------ *)
+(* E17 — span-profiler overhead: the E14 headline workload bare vs. a  *)
+(* disarmed profiler (lane wired, enabled=false) vs. armed. Hard       *)
+(* gates: disarmed <= 1%, armed <= 5%, identical report digests, and   *)
+(* per-lane self-times summing to <= wall. The armed run's per-phase   *)
+(* self-time gauges land in the envelope so bench-diff can gate        *)
+(* per-phase regressions, plus span-op microbenches.                   *)
+(* ------------------------------------------------------------------ *)
+
+let e17 m =
+  let module W = Ftss_service.Workload in
+  let module S = Ftss_service.Service in
+  let module P = Ftss_profile.Profile in
+  let table =
+    Table.create
+      ~title:
+        "E17 (profiler overhead) E14 headline workload: bare vs. disarmed vs. armed \
+         span profiler (budget: disarmed <= 1%, armed <= 5%)"
+      [ "row"; "ops/s"; "vs bare"; "spans"; "profiled ms"; "wall s" ]
+  in
+  let n = 5 in
+  (* The E14 headline scenario verbatim: >= 1M ops through the tower
+     with two corruption storms and an omission window. *)
+  let wl =
+    W.create ~n
+      {
+        W.default_spec with
+        W.ops = 1_000_000;
+        sessions = 1_000_000;
+        window = 20_000;
+        seed = 101;
+      }
+  in
+  let params =
+    {
+      (S.default_params ~n ~seed:202) with
+      S.batch_max = 1_024;
+      faults =
+        {
+          S.storms = [ (8_000, 2); (14_000, 2) ];
+          omission = [ (5_000, 5_600, 0.25) ];
+          crashes = [];
+        };
+    }
+  in
+  let bare () = (S.run ~wl params, None) in
+  let profiled ~enabled () =
+    let prof = P.create ~enabled () in
+    let r = S.run ~profile:(P.lane prof "svc.tower") ~wl params in
+    (r, Some prof)
+  in
+  (* Interleaved trials in rotating order, mean of the top-3 throughputs
+     per config — the same one-sided-noise estimator as E15. *)
+  let configs =
+    [
+      ("bare (no ?profile)", "profiler_bare", bare);
+      ("disarmed (enabled=false)", "profiler_off", profiled ~enabled:false);
+      ("armed", "profiler_armed", profiled ~enabled:true);
+    ]
+  in
+  let rounds = 5 in
+  let results = Hashtbl.create 4 in
+  List.iter
+    (fun (label, _, _) -> Hashtbl.replace results label (Array.make rounds None))
+    configs;
+  let nconf = List.length configs in
+  for round = 0 to rounds - 1 do
+    for i = 0 to nconf - 1 do
+      let label, _, f = List.nth configs ((round + i) mod nconf) in
+      (* Armed trials retire ~60 MB of span buffers; compacting before
+         every trial stops one config's heap shape from taxing the next. *)
+      Gc.compact ();
+      (Hashtbl.find results label).(round) <- Some (f ())
+    done
+  done;
+  let trials label =
+    Array.map
+      (function Some t -> t | None -> assert false)
+      (Hashtbl.find results label)
+  in
+  let bare_label = "bare (no ?profile)" in
+  let best label =
+    let rs =
+      List.sort
+        (fun ((a : S.report), _) ((b : S.report), _) ->
+          compare b.S.throughput a.S.throughput)
+        (Array.to_list (trials label))
+    in
+    let top3 = [ List.nth rs 0; List.nth rs 1; List.nth rs 2 ] in
+    let tp =
+      List.fold_left (fun acc ((r : S.report), _) -> acc +. r.S.throughput) 0. top3
+      /. 3.
+    in
+    (tp, List.hd rs)
+  in
+  (* Single-trial wall-clock noise here runs whole percents — far above
+     the 1% budget under test. Two end-to-end estimators are reported as
+     diagnostics (the {e floor} comparison of each config's best trial
+     against the bare best, and the median of per-round paired
+     slowdowns); the budget gates themselves use the derived
+     instrumentation cost computed below, which wall-clock noise cannot
+     touch. *)
+  let floor_tp label =
+    Array.fold_left
+      (fun acc ((r : S.report), _) -> max acc r.S.throughput)
+      0. (trials label)
+  in
+  let floor_overhead label =
+    let b = floor_tp bare_label in
+    (b -. floor_tp label) /. b *. 100.
+  in
+  let paired_overhead label =
+    let b = trials bare_label and c = trials label in
+    let ds =
+      Array.init rounds (fun r ->
+          let (rb : S.report), _ = b.(r) and (rc : S.report), _ = c.(r) in
+          (rb.S.throughput -. rc.S.throughput) /. rb.S.throughput *. 100.)
+    in
+    Array.sort compare ds;
+    ds.(rounds / 2)
+  in
+  let bare_digest =
+    match (trials bare_label).(0) with r, _ -> S.report_digest r
+  in
+  let overheads = Hashtbl.create 4 in
+  let row (label, gauge, _) =
+    let tp, (r, prof) = best label in
+    let vs = if label = bare_label then 0. else floor_overhead label in
+    (* Profiling must not perturb the simulation: every config commits
+       the identical deterministic report. *)
+    if S.report_digest r <> bare_digest then
+      failwith
+        (Printf.sprintf "E17: %s changed the report digest (%d vs %d)" label
+           (S.report_digest r) bare_digest);
+    M.set (M.gauge m (Printf.sprintf "committed_ops_per_sec.%s" gauge)) tp;
+    (match prof with
+    | Some _ ->
+      Hashtbl.replace overheads gauge vs;
+      M.set (M.gauge m (Printf.sprintf "overhead_pct.%s" gauge)) vs
+    | None -> ());
+    M.inc (M.counter m "rows");
+    let profiled_ms, spans =
+      match prof with
+      | Some p when P.enabled p ->
+        let self =
+          List.fold_left (fun acc t -> acc + t.P.pt_self_ns) 0 (P.totals p)
+        in
+        ( Printf.sprintf "%.1f" (float_of_int self /. 1e6),
+          string_of_int
+            (List.fold_left (fun acc t -> acc + t.P.pt_calls) 0 (P.totals p)) )
+      | _ -> ("-", "-")
+    in
+    Table.add_row table
+      [
+        label;
+        Printf.sprintf "%.0f" tp;
+        (match prof with None -> "-" | Some _ -> Printf.sprintf "%+.1f%%" (-.vs));
+        spans;
+        profiled_ms;
+        Printf.sprintf "%.2f" r.S.wall_seconds;
+      ];
+    prof
+  in
+  let profs = List.map row configs in
+  Table.print table;
+  (* The armed run with the best throughput supplies the per-phase
+     gauges ([profile_self_ms.<phase>] and friends) tracked by
+     bench-diff, and must satisfy the self <= wall invariant per lane. *)
+  let armed_prof =
+    match List.filter_map Fun.id profs with
+    | [ _; armed_prof ] -> armed_prof
+    | _ -> assert false
+  in
+  (match P.check armed_prof with
+  | [] -> ()
+  | (lane, self, wall) :: _ ->
+    failwith
+      (Printf.sprintf "E17: lane %s self-time %d ns exceeds wall %d ns" lane
+         self wall));
+  List.iter (fun (name, v) -> M.set (M.gauge m name) v) (P.gauges armed_prof);
+  (* The deterministic numbers underneath the wall-clock ratios: the
+     cost of one chained lap and one enter/leave pair, armed and
+     disarmed, over a tight loop. *)
+  let iters = 5_000_000 in
+  (* Best of three repetitions: tight-loop floors are stable to a few
+     percent where single repetitions jitter well past bench-diff's
+     regression threshold. *)
+  let measure f =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      f ();
+      (Unix.gettimeofday () -. t0) /. float_of_int iters *. 1e9
+    in
+    min (once ()) (min (once ()) (once ()))
+  in
+  let micro ~enabled suffix =
+    let prof = P.create ~enabled () in
+    let lane = P.lane prof "bench.micro" in
+    let lap_ns =
+      measure (fun () ->
+          let tick = ref (P.now_ns ()) in
+          for _ = 1 to iters do
+            tick := P.lap lane P.Phase.sim_pop ~since:!tick
+          done)
+    in
+    let pair_ns =
+      measure (fun () ->
+          for _ = 1 to iters do
+            P.enter lane P.Phase.svc_slot;
+            ignore (P.leave lane)
+          done)
+    in
+    M.set (M.gauge m (Printf.sprintf "lap_ns_per_call.%s" suffix)) lap_ns;
+    M.set (M.gauge m (Printf.sprintf "span_pair_ns_per_call.%s" suffix)) pair_ns;
+    Format.printf "span ops (%s): lap %.1f ns, enter+leave %.1f ns@." suffix
+      lap_ns pair_ns;
+    (lap_ns, pair_ns)
+  in
+  let lap_armed, pair_armed = micro ~enabled:true "armed" in
+  let lap_off, pair_off = micro ~enabled:false "disarmed" in
+  (* The budget gates. End-to-end trial throughput on a shared machine
+     swings whole percents between adjacent trials (the floor and
+     paired-median figures above routinely disagree on sign), so a 1%
+     budget cannot be resolved by comparing wall clocks. The gated
+     figure is instead {e derived}: the measured per-operation span cost
+     times the exact number of span operations the armed headline run
+     performed, over the bare run's CPU time. It overestimates the true
+     cost (in the simulator loop adjacent spans chain clock reads; the
+     microbench pair pays both), so passing it implies the budget
+     held. *)
+  let lap_calls =
+    List.fold_left
+      (fun acc t ->
+        if t.P.pt_phase = P.Phase.sim_pop || t.P.pt_phase = P.Phase.chunk_claim
+        then acc + t.P.pt_calls
+        else acc)
+      0 (P.totals armed_prof)
+  in
+  let pair_calls =
+    List.fold_left (fun acc t -> acc + t.P.pt_calls) 0 (P.totals armed_prof)
+    - lap_calls
+  in
+  let bare_wall_ns =
+    match best bare_label with _, ((r : S.report), _) -> r.S.wall_seconds *. 1e9
+  in
+  let derived ~lap_ns ~pair_ns =
+    ((lap_ns *. float_of_int lap_calls) +. (pair_ns *. float_of_int pair_calls))
+    /. bare_wall_ns *. 100.
+  in
+  let off_overhead = derived ~lap_ns:lap_off ~pair_ns:pair_off in
+  let armed_overhead = derived ~lap_ns:lap_armed ~pair_ns:pair_armed in
+  M.set (M.gauge m "overhead_pct.derived_off") off_overhead;
+  M.set (M.gauge m "overhead_pct.derived_armed") armed_overhead;
+  Format.printf
+    "profiler overhead, derived from %d lap + %d pair ops: disarmed %.3f%%, \
+     armed %.2f%% (gates: 1%% / 5%%)@."
+    lap_calls pair_calls off_overhead armed_overhead;
+  Format.printf
+    "end-to-end (noisy): floor %+.2f%% / %+.2f%%, paired medians %+.2f%% / \
+     %+.2f%%@."
+    (Hashtbl.find overheads "profiler_off")
+    (Hashtbl.find overheads "profiler_armed")
+    (paired_overhead "disarmed (enabled=false)")
+    (paired_overhead "armed");
+  if off_overhead > 1.0 then
+    failwith
+      (Printf.sprintf "E17: disarmed profiler costs %.3f%% (> 1%% budget)"
+         off_overhead);
+  if armed_overhead > 5.0 then
+    failwith
+      (Printf.sprintf "E17: armed profiler costs %.2f%% (> 5%% budget)"
+         armed_overhead)
+
 let all =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6); ("E7", e7);
     ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11); ("E12", e12); ("E14", e14);
-    ("E15", e15); ("E16", e16);
+    ("E15", e15); ("E16", e16); ("E17", e17);
   ]

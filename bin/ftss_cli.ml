@@ -13,6 +13,7 @@
      serve             run the replicated service tower under a workload
                        (--slo arms streaming monitors; alarms fail the run)
      watch             serve with a live monitor-plane dashboard
+     profile           self-profile the stack; export Perfetto/flamegraph
      bench-diff        compare two BENCH_*.json gauge snapshots
 
    Every subcommand exits non-zero when its theorem check fails, so the
@@ -942,7 +943,7 @@ module Recorder = Ftss_monitor.Recorder
    non-zero when the service gate fails or any SLO alarm fired. *)
 let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
     ~storm_victims ~omit ~trace_out ~metrics_out ~slo ~prom_out ~prom_every
-    ~flight_out ~watch ~shards ~domains =
+    ~flight_out ~watch ~watch_json ~shards ~domains =
   let open Ftss_service in
   match
     match slo with
@@ -1030,14 +1031,27 @@ let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
       let write_prom m =
         match prom_out with Some p -> Monitor.write_openmetrics m p | None -> ()
       in
+      (* With --json each frame is one JSON object (a line on stdout, or
+         the whole file under --out) instead of the text dashboard. *)
       let render_frame m =
+        let frame () =
+          if watch_json then
+            Ftss_obs.Json.to_string (Monitor.dashboard_json m) ^ "\n"
+          else Monitor.dashboard_string m
+        in
         match watch with
         | Some (_, Some path) ->
           let oc = open_out path in
-          output_string oc (Monitor.dashboard_string m);
+          output_string oc (frame ());
           close_out oc
-        | Some (_, None) -> print_string (Monitor.dashboard_string m)
+        | Some (_, None) -> print_string (frame ())
         | None -> ()
+      in
+      (* When JSON frames stream to stdout, keep stdout machine-readable:
+         the human-facing report and monitor table are suppressed (the
+         final frame carries the same quantities). *)
+      let json_stdout =
+        watch_json && match watch with Some (_, None) -> true | _ -> false
       in
       (match monitor with
       | Some m ->
@@ -1076,11 +1090,12 @@ let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
         output_char oc '\n';
         close_out oc
       | None -> ());
-      Format.printf "%a@." Service.pp_report r;
+      if not json_stdout then Format.printf "%a@." Service.pp_report r;
       let alarm_count =
         match monitor with Some m -> Monitor.alarm_count m | None -> 0
       in
       (match monitor with
+      | Some _ when json_stdout -> ()
       | Some m when slo <> None || alarm_count > 0 ->
         Format.printf "@[<v>monitors:@,%a@]@."
           (Format.pp_print_list (fun ppf (s : Monitor.status) ->
@@ -1097,8 +1112,8 @@ let tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
         else Format.printf "slo: all budgets met@."
       | _ -> ());
       (match !snap with
-      | Some s -> Format.printf "%a@." Recorder.pp_snapshot s
-      | None -> ());
+      | Some s when not json_stdout -> Format.printf "%a@." Recorder.pp_snapshot s
+      | _ -> ());
       if r.Service.unique_ops > 0 && r.Service.converged && alarm_count = 0 then 0
       else 1
     end
@@ -1224,7 +1239,7 @@ let serve_cmd =
       trace_out metrics_out slo prom_out prom_every flight_out shards domains =
     tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
       ~storm_victims ~omit ~trace_out ~metrics_out ~slo ~prom_out ~prom_every
-      ~flight_out ~watch:None ~shards ~domains
+      ~flight_out ~watch:None ~watch_json:false ~shards ~domains
   in
   Cmd.v
     (Cmd.info "serve"
@@ -1245,11 +1260,11 @@ let serve_cmd =
 
 let watch_cmd =
   let run n seed ops sessions keys window baseline storm_at storm_victims omit
-      every out slo prom_out prom_every flight_out =
+      every out json slo prom_out prom_every flight_out =
     tower_run ~n ~seed ~ops ~sessions ~keys ~window ~baseline ~storm_at
       ~storm_victims ~omit ~trace_out:None ~metrics_out:None ~slo ~prom_out
-      ~prom_every ~flight_out ~watch:(Some (every, out)) ~shards:(Some 1)
-      ~domains:1
+      ~prom_every ~flight_out ~watch:(Some (every, out)) ~watch_json:json
+      ~shards:(Some 1) ~domains:1
   in
   let every_arg =
     Arg.(
@@ -1266,6 +1281,17 @@ let watch_cmd =
             "Rewrite each dashboard frame to $(docv) instead of printing frames \
              to stdout (tail it from another terminal).")
   in
+  let watch_json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit each dashboard frame as one JSON object instead of the text \
+             dashboard: a JSON line per frame on stdout (the human-readable \
+             report and monitor table are suppressed so stdout stays \
+             machine-readable), or the whole $(b,--out) file rewritten per \
+             frame. Exit codes are unchanged.")
+  in
   Cmd.v
     (Cmd.info "watch"
        ~doc:
@@ -1276,8 +1302,160 @@ let watch_cmd =
     Term.(
       const run $ n_arg $ seed_arg $ ops_arg $ sessions_arg $ keys_arg
       $ window_arg $ baseline_arg $ storm_at_arg $ storm_victims_arg
-      $ omit_window_arg $ every_arg $ watch_out_arg $ slo_arg $ prom_out_arg
-      $ prom_every_arg $ flight_out_arg)
+      $ omit_window_arg $ every_arg $ watch_out_arg $ watch_json_arg $ slo_arg
+      $ prom_out_arg $ prom_every_arg $ flight_out_arg)
+
+(* --- profile: a representative workload under the span profiler --- *)
+
+let profile_cmd =
+  let run n seed ops window out folded_out summary =
+    let module Prof = Ftss_profile.Profile in
+    let open Ftss_service in
+    let prof = Prof.create () in
+    (* Tower section: the sim_* event-loop phases plus every svc_*
+       replica phase. The mid-window storm forces repair traffic, so the
+       recovery phases (audit repairs, pull catch-up) appear even on a
+       short run. *)
+    let spec = { Workload.default_spec with Workload.ops; seed; window } in
+    let params =
+      {
+        (Service.default_params ~n ~seed:(seed + 1)) with
+        Service.faults =
+          {
+            Service.no_faults with
+            Service.storms = [ (window / 2, max 1 (n / 2)) ];
+          };
+      }
+    in
+    let wl = Workload.create ~n spec in
+    let r = Service.run ~profile:(Prof.lane prof "svc.tower") ~wl params in
+    (* Explorer section: the chunk_* work-queue phases, two domains. *)
+    match Ftss_check.Property.find ~name:"theorem3" ~inject:"none" with
+    | Error msg ->
+      Format.eprintf "profile: %s@." msg;
+      2
+    | Ok prop -> (
+      let module S = Ftss_check.Schedule_enum in
+      let sp =
+        prop.Ftss_check.Property.restrict
+          { S.n = 3; rounds = 2; f = 1; intervals = true; drops = true }
+      in
+      S.validate sp;
+      let cases = S.enumerate sp in
+      let _ = Ftss_check.Explore.run ~profile:prof ~domains:2 prop cases in
+      (* Fuzzer section: the whole seed catalogue plus enough budget for
+         mutation batches, so fuzz_mutate appears alongside fuzz_seed and
+         fuzz_verify. *)
+      let module F = Ftss_fuzz.Fuzz in
+      let fconfig =
+        {
+          F.seed;
+          budget = F.Cases (Array.length cases + 256);
+          domains = 1;
+          params = { Ftss_fuzz.Mutate.n = 3; rounds = 2; f = 1; allow_drops = true };
+          corpus_dir = None;
+        }
+      in
+      match F.run ~profile:prof fconfig prop with
+      | Error msg ->
+        Format.eprintf "profile: %s@." msg;
+        2
+      | Ok _ ->
+        let totals = Prof.totals prof in
+        let missing =
+          List.filter
+            (fun p ->
+              not (List.exists (fun t -> t.Prof.pt_phase = p) totals))
+            Prof.Phase.all
+        in
+        let bad = Prof.check prof in
+        (match out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Ftss_obs.Json.to_string (Prof.chrome_json prof));
+          output_char oc '\n';
+          close_out oc;
+          Format.printf "trace written to %s (load in ui.perfetto.dev or \
+                         chrome://tracing)@."
+            path
+        | None -> ());
+        (match folded_out with
+        | Some path ->
+          let oc = open_out path in
+          output_string oc (Prof.folded prof);
+          close_out oc;
+          Format.printf "folded stacks written to %s (flamegraph.pl input)@." path
+        | None -> ());
+        if summary then Format.printf "%a@." Prof.pp_summary prof;
+        Format.printf
+          "profiled %d lanes over %.3f s (%d committed ops, %d cases, %d+ fuzz \
+           execs); phases covered: %d/%d@."
+          (List.length (Prof.lanes prof))
+          (float_of_int (Prof.wall_ns prof) /. 1e9)
+          r.Service.unique_ops (Array.length cases) (Array.length cases)
+          (Prof.Phase.count - List.length missing)
+          Prof.Phase.count;
+        List.iter
+          (fun p ->
+            Format.eprintf "profile: phase %s never recorded@." (Prof.Phase.name p))
+          missing;
+        List.iter
+          (fun (l, s, w) ->
+            Format.eprintf "profile: lane %s self-time %d ns exceeds wall %d ns@."
+              l s w)
+          bad;
+        if missing = [] && bad = [] && r.Service.unique_ops > 0 then 0 else 1)
+  in
+  let ops_arg =
+    Arg.(
+      value & opt int 4_000
+      & info [ "ops" ] ~docv:"OPS" ~doc:"Client operations in the tower section.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 1_500
+      & info [ "window" ] ~docv:"T" ~doc:"Tower arrival window in simulated ticks.")
+  in
+  let profile_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Write the merged multi-lane timeline as Chrome-trace/Perfetto JSON \
+             to $(docv): one process row per track group (svc, explore, fuzz), \
+             one thread lane per domain or shard, aggregated window slices for \
+             the per-event phases.")
+  in
+  let folded_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "folded-out" ] ~docv:"FILE"
+          ~doc:
+            "Write folded stacks (one $(b,lane;parent;phase self_ns) line per \
+             stack) to $(docv), ready for flamegraph.pl / inferno.")
+  in
+  let summary_arg =
+    Arg.(
+      value & flag
+      & info [ "summary" ]
+          ~doc:
+            "Print the per-phase self-time table (calls, self time, share, \
+             allocation) — the same figures E17 exports as bench gauges.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Self-profile the stack: run the service tower (with a mid-run \
+          corruption storm), a two-domain exhaustive exploration and a short \
+          fuzz campaign under the span profiler, then export per-phase \
+          time/allocation attribution. Exits non-zero when any registered \
+          phase never fired or a lane's self-times exceed its wall time — the \
+          CI smoke gate.")
+    Term.(
+      const run $ n_arg $ seed_arg $ ops_arg $ window_arg $ profile_out_arg
+      $ folded_out_arg $ summary_arg)
 
 (* --- bench-diff: compare two gauge snapshots --- *)
 
@@ -1299,6 +1477,15 @@ let bench_diff_cmd =
           (List.length missing)
           (if List.length missing = 1 then "" else "s")
           (String.concat ", " missing));
+      (match report.B.only_new with
+      | [] -> ()
+      | fresh ->
+        Format.printf
+          "warning: %d candidate gauge%s missing from the baseline snapshot \
+           (ungated until the baseline is refreshed): %s@."
+          (List.length fresh)
+          (if List.length fresh = 1 then "" else "s")
+          (String.concat ", " fresh));
       let regs = B.regressions report ~max_regress in
       if regs = [] then begin
         Format.printf "no regressions beyond %.0f%%@." max_regress;
@@ -1349,5 +1536,5 @@ let () =
           [
             round_agreement_cmd; compile_cmd; esfd_cmd; stack_cmd; consensus_cmd;
             impossibility_cmd; check_cmd; fuzz_cmd; replay_cmd; trace_cmd;
-            explain_cmd; serve_cmd; watch_cmd; bench_diff_cmd;
+            explain_cmd; serve_cmd; watch_cmd; profile_cmd; bench_diff_cmd;
           ]))

@@ -84,8 +84,8 @@ let crashed_set config =
 
 let correct_set config = Pidset.diff (Pidset.full config.n) (crashed_set config)
 
-let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
-    process =
+let run ?obs ?profile ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool
+    config process =
   if config.tick_interval < 1 then invalid_arg "Sim.run: tick_interval < 1";
   if config.horizon < 1 then invalid_arg "Sim.run: horizon < 1";
   if config.n < 1 || config.n > max_n then
@@ -224,6 +224,30 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
       push_scramble ~time:t p f)
     corrupt_at;
   let end_time = ref 0 in
+  (* Profiling: like [obs], the bare path pays only an option test per
+     event. Armed, the loop chains clock reads — the pop lap ends where
+     the handler frame begins, and the frame's end tick seeds the next
+     pop lap — so a fully attributed event costs ~2 monotonic-clock
+     reads plus the handler-internal spans the process itself records. *)
+  let module Prof = Ftss_profile.Profile in
+  let tprev = ref (match profile with Some _ -> Prof.now_ns () | None -> 0) in
+  let pop_lap () =
+    match profile with
+    | Some l -> tprev := Prof.lap l Prof.Phase.sim_pop ~since:!tprev
+    | None -> ()
+  in
+  let frame_enter phase =
+    match profile with
+    | Some l -> Prof.enter_at l phase ~at:!tprev
+    | None -> ()
+  in
+  let frame_leave () =
+    match profile with
+    | Some l ->
+      let e = Prof.leave l in
+      if e > 0 then tprev := e
+    | None -> ()
+  in
   let rec loop () =
     if Event_queue.pop_step queue then begin
       let t = Event_queue.out_time queue in
@@ -231,6 +255,7 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
       else begin
         end_time := t;
         let tag = Event_queue.out_tag queue in
+        pop_lap ();
         (match tag land 3 with
         | k when k = kind_deliver ->
           let src = tag_pid tag and dst = tag_dst tag in
@@ -239,7 +264,9 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
             if traced then
               emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Deliver { src; dst }));
             let msg : 'm = Obj.obj (Event_queue.out_payload queue) in
-            step dst t (fun ctx s -> process.on_message ctx s ~src msg)
+            frame_enter Prof.Phase.sim_deliver;
+            step dst t (fun ctx s -> process.on_message ctx s ~src msg);
+            frame_leave ()
           end
           else begin
             incr dropped_after_crash;
@@ -252,8 +279,10 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
         | k when k = kind_tick ->
           let p = tag_pid tag in
           if alive p ~at:t && states.(p) <> None then begin
+            frame_enter Prof.Phase.sim_dispatch;
             step p t process.on_tick;
-            push_tick ~time:(t + config.tick_interval) p
+            push_tick ~time:(t + config.tick_interval) p;
+            frame_leave ()
           end
         | _ -> (
           (* A mid-run transient fault: the adversary rewrites p's state in
@@ -263,7 +292,9 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
           match states.(p) with
           | Some s when alive p ~at:t ->
             let f : 's -> 's = Obj.obj (Event_queue.out_payload queue) in
+            frame_enter Prof.Phase.sim_dispatch;
             states.(p) <- Some (f s);
+            frame_leave ();
             if traced then
               emit (Ftss_obs.Event.make ~time:t (Ftss_obs.Event.Corrupt { pid = p }))
           | _ -> ()));
@@ -295,30 +326,49 @@ let run ?obs ?corrupt ?(corrupt_at = []) ?drop ?(spurious = []) ?pool config
    and states, so the value a shard computes is a function of its thunk
    alone — results land in a slot per shard and the merged array is
    bit-identical whatever the domain count or claiming interleaving. *)
-let run_shards ?(domains = 1) (shards : (unit -> 'a) array) : 'a array =
+let run_shards ?(domains = 1) ?profile (shards : (unit -> 'a) array) : 'a array =
+  let module Prof = Ftss_profile.Profile in
   let len = Array.length shards in
   let domains = max 1 (min domains (max 1 len)) in
   let results = Array.make len None in
-  if domains = 1 then
-    Array.iteri (fun i shard -> results.(i) <- Some (shard ())) shards
+  let shard_lane d =
+    Option.map (fun t -> Prof.lane t (Printf.sprintf "shards.d%d" d)) profile
+  in
+  let execute lane i =
+    match lane with
+    | None -> results.(i) <- Some (shards.(i) ())
+    | Some l ->
+      Prof.enter l Prof.Phase.chunk_execute;
+      results.(i) <- Some (shards.(i) ());
+      ignore (Prof.leave l)
+  in
+  if domains = 1 then begin
+    let lane = shard_lane 0 in
+    Array.iteri (fun i _ -> execute lane i) shards
+  end
   else begin
     let next = Atomic.make 0 in
     let chunk = max 1 (min 64 (len / (domains * 8))) in
-    let worker () =
+    let worker d () =
+      let lane = shard_lane d in
       let rec claim () =
+        let c0 = match lane with Some _ -> Prof.now_ns () | None -> 0 in
         let first = Atomic.fetch_and_add next chunk in
+        (match lane with
+        | Some l -> ignore (Prof.lap l Prof.Phase.chunk_claim ~since:c0)
+        | None -> ());
         if first < len then begin
           let limit = min len (first + chunk) in
           for i = first to limit - 1 do
-            results.(i) <- Some (shards.(i) ())
+            execute lane i
           done;
           claim ()
         end
       in
       claim ()
     in
-    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
+    let spawned = Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1))) in
+    worker 0 ();
     Array.iter Domain.join spawned
   end;
   Array.map

@@ -123,6 +123,7 @@ val pool : ?initial_capacity:int -> unit -> pool
 
 val run :
   ?obs:Ftss_obs.Obs.t ->
+  ?profile:Ftss_profile.Profile.lane ->
   ?corrupt:(Pid.t -> 's -> 's) ->
   ?corrupt_at:(time * Pid.t * ('s -> 's)) list ->
   ?drop:(time:time -> src:Pid.t -> dst:Pid.t -> bool) ->
@@ -131,6 +132,13 @@ val run :
   config ->
   ('s, 'm, 'o) process ->
   ('s, 'o) result
+(** [?profile] attributes the event loop to the span profiler's
+    [sim_pop] / [sim_deliver] / [sim_dispatch] phases on the given lane,
+    chaining clock reads so the armed cost is ~2 reads per event;
+    handler-internal spans (the service tower's [svc_*] phases) nest
+    inside the handler frame and are subtracted from its self-time.
+    Unset, the loop runs exactly as before up to one option test per
+    event — the same zero-cost discipline as [?obs]. *)
 
 (** [run_shards ?domains shards] executes the independent sub-simulation
     thunks in [shards] and returns their results in shard order. With
@@ -138,8 +146,14 @@ val run :
     chunked atomic work-stealing; every shard owns its rng, queue and
     states, so the result array is bit-identical whatever the domain
     count — the merge rule the sharded service driver and the golden
-    digest tests rely on. [domains] is clamped to [1 .. length shards]. *)
-val run_shards : ?domains:int -> (unit -> 'a) array -> 'a array
+    digest tests rely on. [domains] is clamped to [1 .. length shards].
+
+    [?profile] records each domain's chunk lifecycle ([chunk_claim] /
+    [chunk_execute]) on a per-domain lane ([shards.d<i>]); shard thunks
+    wanting finer attribution carry their own lanes (the sharded service
+    driver passes one per shard). *)
+val run_shards :
+  ?domains:int -> ?profile:Ftss_profile.Profile.t -> (unit -> 'a) array -> 'a array
 
 (** [crashed_set config] is the set of processes that crash within the
     horizon — the faulty set of an asynchronous run. *)

@@ -1,3 +1,5 @@
+module Prof = Ftss_profile.Profile
+
 type result = { fingerprint : string; ok : bool; detail : string; states : int }
 
 type domain_stat = { d_cases : int; d_states : int; d_busy : float }
@@ -16,7 +18,8 @@ type stats = {
 
 let available () = Domain.recommended_domain_count ()
 
-let run ?obs ?(domains = 1) ?(canonical = false) (property : Property.t) cases =
+let run ?obs ?profile ?(domains = 1) ?(canonical = false) (property : Property.t)
+    cases =
   let full_len = Array.length cases in
   (* Symmetry reduction: group the cases by their canonical form under
      pid permutation and execute one representative per orbit. Grouping
@@ -63,7 +66,13 @@ let run ?obs ?(domains = 1) ?(canonical = false) (property : Property.t) cases =
   (* Obs.emit and Obs.with_metrics serialize on the hub mutex, so the
      worker domains may share one hub; event construction is guarded on
      [traced] to keep the no-hub path allocation-free. *)
-  let worker () =
+  let worker d () =
+    (* Lane per domain: claim latency ([chunk_claim]) and chunk execution
+       ([chunk_execute]) are attributed without any cross-domain
+       synchronization beyond lane creation itself. *)
+    let lane =
+      Option.map (fun t -> Prof.lane t (Printf.sprintf "explore.d%d" d)) profile
+    in
     (* The verdict cache, one per domain — no lock on the per-case path.
        Verdicts are pure functions of the fingerprinted execution, so a
        domain recomputing a fingerprint another domain has already seen
@@ -116,14 +125,22 @@ let run ?obs ?(domains = 1) ?(canonical = false) (property : Property.t) cases =
           }
     in
     let rec claim () =
+      let c0 = match lane with Some _ -> Prof.now_ns () | None -> 0 in
       let first = Atomic.fetch_and_add next chunk in
+      (match lane with
+      | Some l -> ignore (Prof.lap l Prof.Phase.chunk_claim ~since:c0)
+      | None -> ());
       if first < len then begin
         let limit = min len (first + chunk) in
         (* The clock is read once per chunk, not once per case. *)
         let t0 = Unix.gettimeofday () in
+        (match lane with
+        | Some l -> Prof.enter l Prof.Phase.chunk_execute
+        | None -> ());
         for i = first to limit - 1 do
           case i
         done;
+        (match lane with Some l -> ignore (Prof.leave l) | None -> ());
         my_busy := !my_busy +. (Unix.gettimeofday () -. t0);
         claim ()
       end
@@ -133,14 +150,20 @@ let run ?obs ?(domains = 1) ?(canonical = false) (property : Property.t) cases =
   in
   let t0 = Unix.gettimeofday () in
   let per_domain =
-    if domains = 1 then [| worker () |]
+    if domains = 1 then [| worker 0 () |]
     else begin
-      let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
-      let mine = worker () in
+      let spawned =
+        Array.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+      in
+      let mine = worker 0 () in
       Array.append [| mine |] (Array.map Domain.join spawned)
     end
   in
   let elapsed = Unix.gettimeofday () -. t0 in
+  let merge_lane = Option.map (fun t -> Prof.lane t "explore.main") profile in
+  (match merge_lane with
+  | Some l -> Prof.enter l Prof.Phase.chunk_merge
+  | None -> ());
   let results =
     Array.map
       (function Some r -> r | None -> assert false (* every index was claimed *))
@@ -181,6 +204,7 @@ let run ?obs ?(domains = 1) ?(canonical = false) (property : Property.t) cases =
       per_domain;
     }
   in
+  (match merge_lane with Some l -> ignore (Prof.leave l) | None -> ());
   (match obs with
   | None -> ()
   | Some o ->

@@ -53,6 +53,13 @@ type stats = {
     golden equivalence suite). [stats.orbits] reports the collapse;
     [cases /. orbits] is the symmetry-reduction factor.
 
+    With [profile], each domain records its work-queue lifecycle on its
+    own [explore.d<i>] lane — [chunk_claim] laps around the atomic
+    cursor, a [chunk_execute] frame per claimed chunk — and the
+    post-join fingerprint merge and verdict scatter are spanned as
+    [chunk_merge] on [explore.main]. Unset, the instrumentation is one
+    option test per chunk.
+
     When [obs] is given, every executed case emits a [Case_start] and a
     [Case_verdict] event (the [dedup] flag marks hits in the executing
     domain's own verdict cache — an underapproximation of the
@@ -64,6 +71,7 @@ type stats = {
     clocked once per claimed chunk. *)
 val run :
   ?obs:Ftss_obs.Obs.t ->
+  ?profile:Ftss_profile.Profile.t ->
   ?domains:int ->
   ?canonical:bool ->
   Property.t ->

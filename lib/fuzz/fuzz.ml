@@ -88,7 +88,21 @@ let eval_batch ~domains ~caches (prop : P.t) (genomes : Mutate.t array) =
    end);
   Array.map (function Some r -> r | None -> assert false) results
 
-let run ?obs (config : config) (prop : P.t) =
+let run ?obs ?profile (config : config) (prop : P.t) =
+  let module Prof = Ftss_profile.Profile in
+  (* One lane for the whole campaign: generation is single-threaded and
+     each eval batch is spanned as a unit from the coordinating domain,
+     so per-domain lanes would add nothing but lock traffic. *)
+  let lane = Option.map (fun t -> Prof.lane t "fuzz") profile in
+  let pspan phase f =
+    match lane with
+    | None -> f ()
+    | Some l ->
+      Prof.enter l phase;
+      let r = f () in
+      ignore (Prof.leave l);
+      r
+  in
   let domains =
     let d = if config.domains <= 0 then Ftss_check.Explore.available () else config.domains in
     max 1 (min d 64)
@@ -175,7 +189,8 @@ let run ?obs (config : config) (prop : P.t) =
       | Cases limit when Array.length seeds > limit -> Array.sub seeds 0 limit
       | _ -> seeds
     in
-    merge ~seed_phase:true seeds (eval_batch ~domains ~caches prop seeds);
+    pspan Prof.Phase.fuzz_seed (fun () ->
+        merge ~seed_phase:true seeds (eval_batch ~domains ~caches prop seeds));
     let seed_execs = !execs in
     (* Phase B: mutation batches. Generation is single-threaded from the
        seeded generator and depends only on the corpus as merged so far,
@@ -207,17 +222,20 @@ let run ?obs (config : config) (prop : P.t) =
       let k = min batch_size (remaining ()) in
       if k > 0 && Corpus.length corpus > 0 then begin
         let parents = Array.of_list (Corpus.entries corpus) in
-        let batch = mutants parents k in
-        merge ~seed_phase:false batch (eval_batch ~domains ~caches prop batch);
+        let batch = pspan Prof.Phase.fuzz_mutate (fun () -> mutants parents k) in
+        pspan Prof.Phase.fuzz_verify (fun () ->
+            merge ~seed_phase:false batch (eval_batch ~domains ~caches prop batch));
         loop ()
       end
     in
     loop ();
     let elapsed = Unix.gettimeofday () -. t0 in
     let violations =
-      List.rev_map (fun v -> { v with v_shrunk = shrink_genome prop v.v_genome })
-        !rev_violations
-      |> List.rev
+      pspan Prof.Phase.fuzz_verify (fun () ->
+          List.rev_map
+            (fun v -> { v with v_shrunk = shrink_genome prop v.v_genome })
+            !rev_violations
+          |> List.rev)
     in
     (match config.corpus_dir with
     | Some dir -> Corpus.save corpus ~dir

@@ -69,9 +69,16 @@ type stats = {
 
 (** [run config property] fuzzes until the budget is spent. [Error _]
     reports an unloadable corpus directory; no exception escapes for
-    malformed persisted files. *)
+    malformed persisted files.
+
+    With [profile], the campaign records onto a single [fuzz] lane:
+    [fuzz_seed] spans the whole seed phase (catalogue + persisted-corpus
+    evaluation), [fuzz_mutate] each batch's genome generation, and
+    [fuzz_verify] each mutation batch's evaluation plus the final shrink
+    pass. Unset, the instrumentation is one option test per batch. *)
 val run :
   ?obs:Ftss_obs.Obs.t ->
+  ?profile:Ftss_profile.Profile.t ->
   config ->
   Ftss_check.Property.t ->
   (stats, string) result

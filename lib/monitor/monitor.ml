@@ -597,6 +597,95 @@ let pp_dashboard ppf t =
 
 let dashboard_string t = Format.asprintf "%a@." pp_dashboard t
 
+let statuses_json t =
+  Ftss_obs.Json.List
+    (List.map
+       (fun s ->
+         Ftss_obs.Json.Obj
+           [
+             ("name", Ftss_obs.Json.String s.name);
+             ("armed", Ftss_obs.Json.Bool s.armed);
+             ("value", Ftss_obs.Json.String s.value);
+             ("firing", Ftss_obs.Json.Int s.firing);
+           ])
+       (statuses t))
+
+(* One machine-readable dashboard frame: the same quantities (and the
+   same stateful instantaneous-throughput window) as {!pp_dashboard}. *)
+let dashboard_json t =
+  let open Ftss_obs.Json in
+  let time = t.now in
+  let cum_rate =
+    if time > 0 then float_of_int t.ops_committed /. float_of_int time else 0.
+  in
+  let win = max 1 (time - t.win_start) in
+  let win_rate = float_of_int t.win_ops /. float_of_int win in
+  let latency =
+    if Metrics.lhist_count t.lat = 0 then Obj [ ("samples", Int 0) ]
+    else
+      Obj
+        [
+          ("samples", Int (Metrics.lhist_count t.lat));
+          ("p50", Float (Metrics.lpercentile t.lat 50.));
+          ("p90", Float (Metrics.lpercentile t.lat 90.));
+          ("p99", Float (Metrics.lpercentile t.lat 99.));
+          ("p999", Float (Metrics.lpercentile t.lat 99.9));
+          ("max", Float (Metrics.lhist_max t.lat));
+        ]
+  in
+  let json =
+    Obj
+      [
+        ("time", Int time);
+        ( "ops",
+          Obj
+            [
+              ("submitted", Int t.ops_submitted);
+              ("committed", Int t.ops_committed);
+              ("slots", Int t.slots);
+              ("throughput_per_tick", Float cum_rate);
+              ("window_throughput_per_tick", Float win_rate);
+            ] );
+        ("latency", latency);
+        ( "links",
+          Obj
+            [
+              ("delivered", Int t.delivered);
+              ("dropped", Int t.dropped);
+              ("suspect_adds", Int t.suspect_adds);
+              ("suspect_removes", Int t.suspect_removes);
+              ("churn_per_tick", Float t.churn_ewma);
+            ] );
+        ( "faults",
+          Obj
+            [
+              ("crashes", Int t.crashes);
+              ("corruptions", Int t.corruptions);
+              ("last_fault", Int t.last_fault);
+              ("recoveries", Int t.recoveries);
+              ("measured_d", Int t.measured_d);
+            ] );
+        ("monitors", statuses_json t);
+        ( "recorder",
+          Obj [ ("ring_seen", Int (ring_seen t)); ("alarms", Int t.alarm_count) ]
+        );
+        ( "alarms",
+          List
+            (List.rev_map
+               (fun a ->
+                 Obj
+                   [
+                     ("monitor", String a.monitor);
+                     ("time", Int a.time);
+                     ("detail", String a.detail);
+                   ])
+               t.alarms_rev) );
+      ]
+  in
+  t.win_ops <- 0;
+  t.win_start <- time;
+  json
+
 (* --- OpenMetrics text exposition (scrape-based collection) --- *)
 
 let openmetrics t =

@@ -125,6 +125,15 @@ val pp_dashboard : Format.formatter -> t -> unit
 
 val dashboard_string : t -> string
 
+(** The monitor statuses as a JSON list (name, armed, value, firing). *)
+val statuses_json : t -> Ftss_obs.Json.t
+
+(** One machine-readable dashboard frame: the same quantities as
+    {!pp_dashboard}, including its stateful instantaneous-throughput
+    window (each frame reports ops committed since the previous frame)
+    — what [ftss watch --json] emits, one object per frame. *)
+val dashboard_json : t -> Ftss_obs.Json.t
+
 (** OpenMetrics text exposition of every tracked quantity, terminated
     by [# EOF]. *)
 val openmetrics : t -> string

@@ -1,0 +1,15 @@
+/* A monotonic nanosecond clock returned as an immediate tagged int, so
+   the hot begin/end span path allocates nothing (Unix.gettimeofday both
+   boxes a float and only resolves microseconds). Nanoseconds since boot
+   fit comfortably in OCaml's 63-bit int (~292 years). */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value ftss_profile_now_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

@@ -96,14 +96,14 @@ let send_outs ctx outs =
 
 let flush_notes ctx tob = List.iter (Sim.observe ctx) (Tob.drain_notes tob)
 
-let process ?obs ~wl ~params:(params : params) ~oracle () =
+let process ?obs ?profile ~wl ~params:(params : params) ~oracle () =
   {
     Sim.name = "service";
     init =
       (fun p ->
         {
           tob =
-            Tob.create ?obs ~n:params.n ~self:p ~style:params.style
+            Tob.create ?obs ?profile ~n:params.n ~self:p ~style:params.style
               ~batch_max:params.batch_max ~id_hint:(Workload.total wl) ();
           fd = Esfd.create ~n:params.n;
           cursor = 0;
@@ -198,7 +198,7 @@ let percentiles_of h =
 (* [run_measured] is [run] plus the raw latency histogram, which the
    sharded driver merges across shards before taking percentiles
    (percentiles of percentiles would be wrong). *)
-let run_measured ?obs ~wl (params : params) =
+let run_measured ?obs ?profile ~wl (params : params) =
   let n = params.n in
   let horizon =
     if params.horizon > 0 then params.horizon else (Workload.spec wl).window + 3000
@@ -227,7 +227,10 @@ let run_measured ?obs ~wl (params : params) =
   let corrupt_at = storm_entries ~n ~seed:params.seed params.faults in
   let drop = drop_fn ~seed:params.seed params.faults.omission in
   let t0 = Sys.time () in
-  let result = Sim.run ?obs ~corrupt_at ?drop config (process ?obs ~wl ~params ~oracle ()) in
+  let result =
+    Sim.run ?obs ?profile ~corrupt_at ?drop config
+      (process ?obs ?profile ~wl ~params ~oracle ())
+  in
   let wall_seconds = Sys.time () -. t0 in
   (* Survivors and the reference replica (lowest live pid). *)
   let live = ref [] in
@@ -405,7 +408,8 @@ let run_measured ?obs ~wl (params : params) =
     },
     lat )
 
-let run ?obs ~wl (params : params) = fst (run_measured ?obs ~wl params)
+let run ?obs ?profile ~wl (params : params) =
+  fst (run_measured ?obs ?profile ~wl params)
 
 (* --- sharding --- *)
 
@@ -494,22 +498,32 @@ let merge_reports ~(params : params) ~wall_seconds
     },
     lat )
 
-let run_sharded ?obs ?(domains = 1) ~shards ~spec (params : params) =
+let run_sharded ?obs ?profile ?(domains = 1) ~shards ~spec (params : params) =
   if shards < 1 then invalid_arg "Service.run_sharded: shards < 1";
+  let module Prof = Ftss_profile.Profile in
+  let shard_lane i =
+    Option.map (fun t -> Prof.lane t (Printf.sprintf "svc.shard%d" i)) profile
+  in
   let thunks =
     Array.init shards (fun i ->
+        let lane = shard_lane i in
         fun () ->
           let wl = Workload.create ~n:params.n (shard_spec spec ~shards ~shard:i) in
           (* No [obs] inside shards: the observability pipeline is not
              domain-safe, and per-shard streams would interleave
              nondeterministically. Shard summaries are exported as gauges
-             after the merge instead. *)
-          run_measured ~wl (shard_params params ~shard:i))
+             after the merge instead. Profiler lanes are domain-safe by
+             construction (one lane per shard, each owned by whichever
+             domain claims the shard). *)
+          run_measured ?profile:lane ~wl (shard_params params ~shard:i))
   in
   let t0 = Unix.gettimeofday () in
-  let parts = Sim.run_shards ~domains thunks in
+  let parts = Sim.run_shards ~domains ?profile thunks in
   let wall_seconds = Unix.gettimeofday () -. t0 in
+  let merge_lane = Option.map (fun t -> Prof.lane t "svc.main") profile in
+  (match merge_lane with Some l -> Prof.enter l Prof.Phase.chunk_merge | None -> ());
   let report, _ = merge_reports ~params ~wall_seconds parts in
+  (match merge_lane with Some l -> ignore (Prof.leave l) | None -> ());
   (match obs with
   | None -> ()
   | Some o ->

@@ -67,10 +67,19 @@ type report = {
     — pinned by the golden determinism test. *)
 val report_digest : report -> int
 
-(** [run ?obs ~wl params] executes one full workload through the tower
-    and measures it. With [obs], every layer (engine, detector, service)
-    emits its event stream. *)
-val run : ?obs:Ftss_obs.Obs.t -> wl:Workload.t -> params -> report
+(** [run ?obs ?profile ~wl params] executes one full workload through
+    the tower and measures it. With [obs], every layer (engine,
+    detector, service) emits its event stream. With [profile], the
+    engine's [sim_*] phases and every replica's [svc_*] phases are
+    attributed to the given span-profiler lane (replica spans nest
+    inside the engine's handler frames, so self-times stay disjoint);
+    unset, the instrumentation is one option test per site. *)
+val run :
+  ?obs:Ftss_obs.Obs.t ->
+  ?profile:Ftss_profile.Profile.lane ->
+  wl:Workload.t ->
+  params ->
+  report
 
 (** [run_sharded ?obs ?domains ~shards ~spec params] partitions the
     workload spec into [shards] independent replica towers (ops and
@@ -93,9 +102,16 @@ val run : ?obs:Ftss_obs.Obs.t -> wl:Workload.t -> params -> report
     [shard.<i>.converged], [shard.<i>.wall_seconds]) plus
     [service.shards] / [service.domains] are recorded after the merge;
     shard-internal event streams are not emitted (the pipeline is not
-    domain-safe). *)
+    domain-safe).
+
+    With [profile], each shard's tower records onto its own lane
+    ([svc.shard<i>], domain-safe because exactly one domain executes a
+    shard), the executor's chunk lifecycle lands on the [shards.d<i>]
+    lanes via {!Ftss_async.Sim.run_shards}, and the post-join report
+    merge is spanned as [chunk_merge] on [svc.main]. *)
 val run_sharded :
   ?obs:Ftss_obs.Obs.t ->
+  ?profile:Ftss_profile.Profile.t ->
   ?domains:int ->
   shards:int ->
   spec:Workload.spec ->

@@ -37,6 +37,7 @@ type t = {
   batch_max : int;
   checkpoint : int;
   obs : Ftss_obs.Obs.t option;
+  prof : Ftss_profile.Profile.lane option;
   (* the committed log: [0, committed) of [log] is live; [pdig.(i)] is
      the chained digest of the length-[i] prefix *)
   mutable log : batch array;
@@ -139,6 +140,14 @@ let emit t ~now body =
   | Some o -> Ftss_obs.Obs.emit o (Ftss_obs.Event.make ~time:now body)
   | None -> ()
 
+(* Span profiling: the same option-test discipline as [emit]. Frames nest
+   inside the simulator's handler frame, so tower self-times never double
+   count against [sim_deliver]/[sim_dispatch]. *)
+module Prof = Ftss_profile.Profile
+
+let pf_enter t p = match t.prof with Some l -> Prof.enter l p | None -> ()
+let pf_leave t = match t.prof with Some l -> ignore (Prof.leave l) | None -> ()
+
 (* --- integrity guard --- *)
 
 let guard_of t =
@@ -148,7 +157,8 @@ let guard_of t =
 
 let refresh_guard t = t.guard <- guard_of t
 
-let create ?obs ~n ~self ~style ~batch_max ?(checkpoint = 64) ?(id_hint = 1024) () =
+let create ?obs ?profile ~n ~self ~style ~batch_max ?(checkpoint = 64)
+    ?(id_hint = 1024) () =
   if n < 1 then invalid_arg "Tob.create: n < 1";
   if batch_max < 1 then invalid_arg "Tob.create: batch_max < 1";
   if checkpoint < 1 then invalid_arg "Tob.create: checkpoint < 1";
@@ -161,6 +171,7 @@ let create ?obs ~n ~self ~style ~batch_max ?(checkpoint = 64) ?(id_hint = 1024) 
       batch_max;
       checkpoint;
       obs;
+      prof = profile;
       log = Array.make 64 [||];
       committed = 0;
       pdig = Array.make 65 0;
@@ -371,7 +382,9 @@ let recover_local t ~now =
   emit t ~now (Ftss_obs.Event.Recover { pid = t.self; slots = t.committed })
 
 let integrity_check t ~now =
-  if t.style.recover && t.guard <> guard_of t then recover_local t ~now
+  pf_enter t Prof.Phase.svc_integrity;
+  if t.style.recover && t.guard <> guard_of t then recover_local t ~now;
+  pf_leave t
 
 (* The cyclic self-audit: re-derive the KV digest from the table, and
    re-validate one window of log content against the stored prefix
@@ -380,6 +393,7 @@ let integrity_check t ~now =
    cross-replica gossip repairs any surviving divergence. *)
 let audit t ~now =
   if t.style.recover && t.ticks mod audit_interval = 0 then begin
+    pf_enter t Prof.Phase.svc_audit;
     if Kv.recompute_digest t.kv <> Kv.digest t.kv then recover_local t ~now
     else begin
       if t.audit_cursor >= t.committed then t.audit_cursor <- 0;
@@ -391,7 +405,8 @@ let audit t ~now =
       let ok = !h = t.pdig.(stop) in
       t.audit_cursor <- stop;
       if not ok then recover_local t ~now
-    end
+    end;
+    pf_leave t
   end
 
 let request_pull t peer ~from =
@@ -548,15 +563,35 @@ let deliver t ~now ~src msg =
     | Fwd ops ->
       enqueue_ops t ops;
       []
-    | Cons { slot; m } -> on_cons t ~now ~src ~slot m
-    | Decide { slot; batch } -> on_decide t ~now ~slot batch
+    | Cons { slot; m } ->
+      pf_enter t Prof.Phase.svc_slot;
+      let outs = on_cons t ~now ~src ~slot m in
+      pf_leave t;
+      outs
+    | Decide { slot; batch } ->
+      pf_enter t Prof.Phase.svc_slot;
+      let outs = on_decide t ~now ~slot batch in
+      pf_leave t;
+      outs
     | Tag { len; round; cp; cp_log; kvh; kv_d } ->
-      on_tag t ~src ~len ~round ~cp ~cp_log ~kvh ~kv_d
+      pf_enter t Prof.Phase.svc_gossip;
+      let outs = on_tag t ~src ~len ~round ~cp ~cp_log ~kvh ~kv_d in
+      pf_leave t;
+      outs
     | Pull_req { from } ->
-      if from >= 0 && from < t.committed then
-        [ Send (src, Pull_rep { from; entries = Array.sub t.log from (t.committed - from) }) ]
-      else []
-    | Pull_rep { from; entries } -> on_pull_rep t ~now ~src ~from ~entries
+      pf_enter t Prof.Phase.svc_catchup;
+      let outs =
+        if from >= 0 && from < t.committed then
+          [ Send (src, Pull_rep { from; entries = Array.sub t.log from (t.committed - from) }) ]
+        else []
+      in
+      pf_leave t;
+      outs
+    | Pull_rep { from; entries } ->
+      pf_enter t Prof.Phase.svc_catchup;
+      let outs = on_pull_rep t ~now ~src ~from ~entries in
+      pf_leave t;
+      outs
   in
   refresh_guard t;
   outs
@@ -654,6 +689,7 @@ let tick t ~now ~suspected =
     end
   end;
   (* Drive the current slot's consensus. *)
+  pf_enter t Prof.Phase.svc_slot;
   (match t.engine with
   | None -> if has_pending t then push (enter_engine t)
   | Some eng ->
@@ -665,6 +701,7 @@ let tick t ~now ~suspected =
     (match verdict with
     | Mv_consensus.Decided batch -> push (decide t ~now batch)
     | Mv_consensus.Continue -> ()));
+  pf_leave t;
   (* The decision-retransmission superimposition: the latest committed
      slot is re-broadcast every tick, healing single-slot gaps fast. *)
   if t.style.retransmit && t.committed > 0 then

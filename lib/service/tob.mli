@@ -66,9 +66,16 @@ type note =
 type t
 
 (** [checkpoint] is the digest-gossip granularity in slots; [id_hint]
-    pre-sizes the op-id bitsets. *)
+    pre-sizes the op-id bitsets. [profile] attributes the replica's
+    work to the span profiler's [svc_*] phases on the given lane:
+    [svc_slot] (consensus stepping, decide, apply), [svc_integrity]
+    (the per-step guard check), [svc_audit] (the cyclic deep audit),
+    [svc_catchup] (pull protocol both sides), [svc_gossip] (Tag
+    heartbeat handling). Unset, the instrumentation is a single option
+    test per site. *)
 val create :
   ?obs:Ftss_obs.Obs.t ->
+  ?profile:Ftss_profile.Profile.lane ->
   n:int ->
   self:Pid.t ->
   style:style ->

@@ -1,4 +1,4 @@
 let () =
   Alcotest.run "ftss"
     (List.concat
-       [ Test_util.suite; Test_sync.suite; Test_history.suite; Test_core.suite; Test_protocols.suite; Test_async.suite; Test_extensions.suite; Test_properties.suite; Test_check.suite; Test_fuzz.suite; Test_obs.suite; Test_prov.suite; Test_service.suite; Test_monitor.suite ])
+       [ Test_util.suite; Test_sync.suite; Test_history.suite; Test_core.suite; Test_protocols.suite; Test_async.suite; Test_extensions.suite; Test_properties.suite; Test_check.suite; Test_fuzz.suite; Test_obs.suite; Test_prov.suite; Test_service.suite; Test_monitor.suite; Test_profile.suite ])

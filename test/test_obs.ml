@@ -339,6 +339,69 @@ let test_lhist_no_reservoir_bias () =
     (fun name -> check (name ^ " exported") true (field lh name <> None))
     [ "sum"; "min"; "max"; "mean"; "p50"; "p95"; "p99"; "p999" ]
 
+let test_lhist_merge_edges () =
+  (* empty ⊎ empty stays empty (and nan extremes stay nan, not 0). *)
+  let a = Metrics.lhist_create () and b = Metrics.lhist_create () in
+  Metrics.lhist_merge a b;
+  check_int "empty+empty count" 0 (Metrics.lhist_count a);
+  check "empty+empty min is nan" true (Float.is_nan (Metrics.lhist_min a));
+  check "empty+empty p50 is nan" true
+    (Float.is_nan (Metrics.lpercentile a 50.0));
+  (* empty ⊎ nonempty adopts the source exactly, in both directions. *)
+  let src = Metrics.lhist_create () in
+  List.iter (Metrics.lobserve src) [ 3.0; 7.0; 11.0 ];
+  let into = Metrics.lhist_create () in
+  Metrics.lhist_merge into src;
+  check_int "empty into adopts count" 3 (Metrics.lhist_count into);
+  check "adopts sum" true (Metrics.lhist_sum into = 21.0);
+  check "adopts min" true (Metrics.lhist_min into = 3.0);
+  check "adopts max" true (Metrics.lhist_max into = 11.0);
+  let nonempty = Metrics.lhist_create () in
+  Metrics.lobserve nonempty 5.0;
+  Metrics.lhist_merge nonempty (Metrics.lhist_create ());
+  check_int "merging empty is identity" 1 (Metrics.lhist_count nonempty);
+  check "identity min" true (Metrics.lhist_min nonempty = 5.0);
+  (* single-bucket populations: same value everywhere collapses to one
+     bucket; the merge must keep exact extremes and the clamped p50. *)
+  let s1 = Metrics.lhist_create () and s2 = Metrics.lhist_create () in
+  for _ = 1 to 10 do
+    Metrics.lobserve s1 42.0;
+    Metrics.lobserve s2 42.0
+  done;
+  Metrics.lhist_merge s1 s2;
+  check_int "single-bucket count adds" 20 (Metrics.lhist_count s1);
+  check "single-bucket p50 clamps exact" true
+    (Metrics.lpercentile s1 50.0 = 42.0);
+  (* from is untouched by the merge. *)
+  check_int "source untouched" 10 (Metrics.lhist_count s2);
+  (* percentile agreement: a stream split across two shards and merged
+     must estimate every percentile identically to the unsplit stream —
+     log bucketing makes the merge lossless. *)
+  let whole = Metrics.lhist_create () in
+  let sh1 = Metrics.lhist_create () and sh2 = Metrics.lhist_create () in
+  let rng = ref 9973 in
+  for i = 1 to 4_000 do
+    rng := (!rng * 48271) mod 0x7fffffff;
+    let v = float_of_int (1 + (!rng mod 10_000)) in
+    Metrics.lobserve whole v;
+    Metrics.lobserve (if i mod 2 = 0 then sh1 else sh2) v
+  done;
+  Metrics.lhist_merge sh1 sh2;
+  check_int "merged count matches" (Metrics.lhist_count whole)
+    (Metrics.lhist_count sh1);
+  check "merged sum matches" true
+    (Metrics.lhist_sum whole = Metrics.lhist_sum sh1);
+  check "merged min matches" true
+    (Metrics.lhist_min whole = Metrics.lhist_min sh1);
+  check "merged max matches" true
+    (Metrics.lhist_max whole = Metrics.lhist_max sh1);
+  List.iter
+    (fun p ->
+      let w = Metrics.lpercentile whole p and m = Metrics.lpercentile sh1 p in
+      if w <> m then
+        Alcotest.failf "p%g diverges after merge: %g vs %g" p w m)
+    [ 0.0; 50.0; 90.0; 99.0; 99.9; 100.0 ]
+
 let test_metrics_record_event_and_json () =
   let m = Metrics.create () in
   List.iter (Metrics.record_event m) all_events;
@@ -705,6 +768,8 @@ let suite =
           test_lhist_percentiles_bounded_error;
         tc "log-bucket histogram outlives the reservoir" `Quick
           test_lhist_no_reservoir_bias;
+        tc "lhist_merge edge cases and percentile agreement" `Quick
+          test_lhist_merge_edges;
         tc "record_event derivations + json snapshot" `Quick test_metrics_record_event_and_json;
         tc "hub fan-out and suspect_diff" `Quick test_obs_fan_out_and_suspect_diff;
         tc "emit_windows round-trips" `Quick test_obs_emit_windows;

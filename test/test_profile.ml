@@ -1,0 +1,278 @@
+(* The span profiler (lib/profile).
+
+   The unit cases pin the contracts the instrumented layers lean on: the
+   closed phase registry round-trips; disarmed lanes are inert (no spans,
+   no totals, chained ticks flow through unchanged); nesting-aware
+   self-time keeps every lane's phase sum at or under its wall time
+   (Profile.check); the buffered span cap drops spans but never calls;
+   coalesced phases flush their open window into exact totals; and the
+   three export surfaces (Chrome-trace JSON, folded stacks, bench
+   gauges) agree with the totals they are derived from. *)
+
+open Ftss_obs
+module P = Ftss_profile.Profile
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Busy-wait so spans have a measurable, strictly positive width without
+   sleeping the scheduler. *)
+let spin ns =
+  let t0 = P.now_ns () in
+  while P.now_ns () - t0 < ns do
+    ()
+  done
+
+(* --- phase registry --- *)
+
+let test_phase_registry () =
+  check_int "closed registry size" 14 P.Phase.count;
+  check_int "all lists every phase" 14 (List.length P.Phase.all);
+  let names = List.map P.Phase.name P.Phase.all in
+  check "names are distinct" true
+    (List.length (List.sort_uniq compare names) = P.Phase.count);
+  List.iter
+    (fun p ->
+      match P.Phase.of_name (P.Phase.name p) with
+      | Some p' -> check (P.Phase.name p ^ " round-trips") true (p = p')
+      | None -> Alcotest.failf "of_name failed for %s" (P.Phase.name p))
+    P.Phase.all;
+  check "unknown name rejected" true (P.Phase.of_name "no_such_phase" = None);
+  (* The per-event hot paths coalesce; the millisecond-scale ones buffer. *)
+  check "sim_pop coalesces" true (P.Phase.coalesced P.Phase.sim_pop);
+  check "svc_audit buffers" false (P.Phase.coalesced P.Phase.svc_audit)
+
+(* --- disarmed lanes are inert --- *)
+
+let test_disarmed_noop () =
+  let t = P.create ~enabled:false () in
+  let l = P.lane t "off" in
+  P.enter l P.Phase.svc_audit;
+  check_int "leave returns 0 disarmed" 0 (P.leave l);
+  check_int "lap returns since disarmed" 42 (P.lap l P.Phase.sim_pop ~since:42);
+  P.enter_at l P.Phase.sim_deliver ~at:7;
+  ignore (P.leave l);
+  check_int "span still runs f" 5 (P.span l P.Phase.fuzz_seed (fun () -> 5));
+  check "no totals" true (P.totals t = []);
+  check_int "no dropped spans" 0 (P.dropped_spans t);
+  check "gauges carry only the drop counter" true
+    (P.gauges t = [ ("profile_dropped_spans", 0.) ])
+
+(* --- nesting-aware self time --- *)
+
+let test_nesting_self_le_wall () =
+  let t = P.create () in
+  let l = P.lane t "svc.tower" in
+  (* parent (svc_slot) containing two children (svc_integrity). *)
+  P.enter l P.Phase.svc_slot;
+  spin 200_000;
+  P.enter l P.Phase.svc_integrity;
+  spin 300_000;
+  ignore (P.leave l);
+  P.enter l P.Phase.svc_integrity;
+  spin 300_000;
+  ignore (P.leave l);
+  spin 200_000;
+  ignore (P.leave l);
+  let tot = P.totals t in
+  check_int "two phases" 2 (List.length tot);
+  let self p =
+    let pt = List.find (fun pt -> pt.P.pt_phase = p) tot in
+    pt.P.pt_self_ns
+  in
+  let parent = self P.Phase.svc_slot and child = self P.Phase.svc_integrity in
+  check "child self covers both spins" true (child >= 600_000);
+  check "parent self excludes children" true (parent < P.wall_ns t - child + 1);
+  check "self sums to at most wall" true (parent + child <= P.wall_ns t);
+  check "check holds" true (P.check t = [])
+
+let test_span_exception_safe () =
+  let t = P.create () in
+  let l = P.lane t "svc.tower" in
+  (try P.span l P.Phase.svc_audit (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* The frame must have been closed: a fresh balanced pair still works
+     and the totals attribute one call to each phase. *)
+  P.enter l P.Phase.svc_catchup;
+  ignore (P.leave l);
+  let calls p =
+    match List.find_opt (fun pt -> pt.P.pt_phase = p) (P.totals t) with
+    | Some pt -> pt.P.pt_calls
+    | None -> 0
+  in
+  check_int "raising span recorded" 1 (calls P.Phase.svc_audit);
+  check_int "next span recorded" 1 (calls P.Phase.svc_catchup);
+  check "check holds after exception" true (P.check t = [])
+
+(* --- coalesced window flush --- *)
+
+let test_window_flush_exact_calls () =
+  let t = P.create () in
+  let l = P.lane t "shards.d0" in
+  let n = 10_000 in
+  let tick = ref (P.now_ns ()) in
+  for _ = 1 to n do
+    tick := P.lap l P.Phase.sim_pop ~since:!tick
+  done;
+  (* The window is still open (10k laps take well under the ~10 ms flush
+     threshold); totals must flush it and report the exact count. *)
+  match List.find_opt (fun pt -> pt.P.pt_phase = P.Phase.sim_pop) (P.totals t) with
+  | None -> Alcotest.fail "sim_pop missing from totals"
+  | Some pt ->
+    check_int "exact calls through flush" n pt.P.pt_calls;
+    check "laps accumulated time" true (pt.P.pt_self_ns > 0)
+
+(* --- span-buffer cap --- *)
+
+let test_buffer_cap_drops_spans_not_calls () =
+  let t = P.create ~max_spans_per_lane:64 () in
+  let l = P.lane t "fuzz" in
+  let n = 200 in
+  for _ = 1 to n do
+    P.enter l P.Phase.fuzz_verify;
+    ignore (P.leave l)
+  done;
+  check "spans dropped beyond cap" true (P.dropped_spans t > 0);
+  (match List.find_opt (fun pt -> pt.P.pt_phase = P.Phase.fuzz_verify) (P.totals t) with
+  | None -> Alcotest.fail "fuzz_verify missing from totals"
+  | Some pt -> check_int "accumulators keep exact calls" n pt.P.pt_calls);
+  match List.assoc_opt "profile_dropped_spans" (P.gauges t) with
+  | Some d -> check "gauge mirrors drop counter" true (int_of_float d > 0)
+  | None -> Alcotest.fail "profile_dropped_spans gauge missing"
+
+(* --- exports --- *)
+
+(* A small two-lane workload exercising both recording strategies. *)
+let exercised () =
+  let t = P.create () in
+  let a = P.lane t "svc.tower" in
+  let b = P.lane t "explore.d0" in
+  P.enter a P.Phase.svc_slot;
+  spin 100_000;
+  P.enter a P.Phase.svc_integrity;
+  spin 100_000;
+  ignore (P.leave a);
+  ignore (P.leave a);
+  let tick = ref (P.now_ns ()) in
+  for _ = 1 to 100 do
+    tick := P.lap b P.Phase.chunk_claim ~since:!tick
+  done;
+  P.span b P.Phase.chunk_execute (fun () -> spin 100_000);
+  t
+
+let test_chrome_json_round_trip () =
+  let t = exercised () in
+  let doc = P.chrome_json t in
+  (* The export must survive its own serializer. *)
+  let reparsed =
+    match Json.of_string (Json.to_string doc) with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "chrome JSON does not reparse: %s" e
+  in
+  let events =
+    match Json.member "traceEvents" reparsed with
+    | Some (Json.List es) -> es
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let field name e =
+    match Json.member name e with
+    | Some (Json.String s) -> Some s
+    | _ -> None
+  in
+  let phs = List.filter_map (field "ph") events in
+  check "has complete X events" true (List.mem "X" phs);
+  check "has metadata events" true (List.mem "M" phs);
+  (* Every exercised phase appears as at least one slice name. *)
+  let names = List.filter_map (field "name") events in
+  List.iter
+    (fun p ->
+      let n = P.Phase.name p in
+      check (n ^ " present in trace") true (List.mem n names))
+    [ P.Phase.svc_slot; P.Phase.svc_integrity; P.Phase.chunk_claim;
+      P.Phase.chunk_execute ];
+  (* Both track groups surface as process_name metadata. *)
+  let meta_args =
+    List.filter_map
+      (fun e ->
+        if field "ph" e = Some "M" && field "name" e = Some "process_name" then
+          Json.member "args" e
+        else None)
+      events
+  in
+  let procs =
+    List.filter_map
+      (fun a ->
+        match Json.member "name" a with
+        | Some (Json.String s) -> Some s
+        | _ -> None)
+      meta_args
+  in
+  check "svc process row" true (List.mem "svc" procs);
+  check "explore process row" true (List.mem "explore" procs)
+
+let test_folded_matches_totals () =
+  let t = exercised () in
+  let lines = String.split_on_char '\n' (String.trim (P.folded t)) in
+  check "folded non-empty" true (lines <> []);
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "folded line lacks a count: %S" line
+      | Some i ->
+        let stack = String.sub line 0 i in
+        let count =
+          String.sub line (i + 1) (String.length line - i - 1)
+        in
+        check "count is numeric" true (int_of_string_opt count <> None);
+        check "stack has lane;...;phase frames" true
+          (String.contains stack ';'))
+    lines;
+  (* The nested phase folds under its parent. *)
+  let contains ~needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check "nested frame path present" true
+    (List.exists (contains ~needle:"svc_slot;svc_integrity") lines)
+
+let test_gauges_match_totals () =
+  let t = exercised () in
+  let gs = P.gauges t in
+  List.iter
+    (fun pt ->
+      let n = P.Phase.name pt.P.pt_phase in
+      (match List.assoc_opt (Printf.sprintf "profile_calls.%s" n) gs with
+      | Some c -> check_int ("calls gauge " ^ n) pt.P.pt_calls (int_of_float c)
+      | None -> Alcotest.failf "profile_calls.%s missing" n);
+      match List.assoc_opt (Printf.sprintf "profile_self_ms.%s" n) gs with
+      | Some ms ->
+        check ("self gauge " ^ n) true
+          (abs_float (ms -. (float_of_int pt.P.pt_self_ns /. 1e6)) < 1e-6)
+      | None -> Alcotest.failf "profile_self_ms.%s missing" n)
+    (P.totals t)
+
+let suite =
+  [
+    ( "profile",
+      [
+        Alcotest.test_case "phase registry round-trips" `Quick
+          test_phase_registry;
+        Alcotest.test_case "disarmed lanes are inert" `Quick
+          test_disarmed_noop;
+        Alcotest.test_case "nested self-times sum under wall" `Quick
+          test_nesting_self_le_wall;
+        Alcotest.test_case "span closes frame on exception" `Quick
+          test_span_exception_safe;
+        Alcotest.test_case "coalesced window flushes exact calls" `Quick
+          test_window_flush_exact_calls;
+        Alcotest.test_case "span cap drops spans, never calls" `Quick
+          test_buffer_cap_drops_spans_not_calls;
+        Alcotest.test_case "chrome trace reparses with all phases" `Quick
+          test_chrome_json_round_trip;
+        Alcotest.test_case "folded stacks carry lane;phase frames" `Quick
+          test_folded_matches_totals;
+        Alcotest.test_case "gauges mirror totals" `Quick
+          test_gauges_match_totals;
+      ] );
+  ]
